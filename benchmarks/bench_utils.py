@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness (imported by the benchmarks)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.report import format_table  # noqa: E402
+
+#: Datasets used by the sweep-style figures (one per technology) to keep the
+#: benchmark run time reasonable; the headline figures use all nine.
+REPRESENTATIVE_DATASETS = ["HiFi-HG005", "CLR-HG002", "ONT-HG002"]
+
+
+def print_figure(title: str, headers, rows) -> None:
+    """Print one figure's data series as an aligned table."""
+    print()
+    print(f"=== {title} ===")
+    print(format_table(headers, rows))

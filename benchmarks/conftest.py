@@ -1,0 +1,45 @@
+"""Pytest fixtures for the benchmark harness.
+
+Datasets are built once per session (the underlying builder is cached per
+process) and shared by every figure benchmark; hardware is the scaled
+device/CPU pair described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.pipeline.experiment import (  # noqa: E402
+    all_dataset_names,
+    dataset_tasks,
+    scaled_hardware,
+)
+
+from bench_utils import REPRESENTATIVE_DATASETS  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def hardware():
+    """The scaled (device, cpu) pair used throughout the harness."""
+    return scaled_hardware()
+
+
+@pytest.fixture(scope="session")
+def all_datasets():
+    """Mapping of dataset name -> tuple of alignment tasks (all nine)."""
+    return {name: dataset_tasks(name) for name in all_dataset_names()}
+
+
+@pytest.fixture(scope="session")
+def representative_datasets():
+    """One dataset per sequencing technology."""
+    return {name: dataset_tasks(name) for name in REPRESENTATIVE_DATASETS}

@@ -1,0 +1,62 @@
+"""Figure 8 -- the main performance comparison.
+
+Speedup over the Minimap2 CPU baseline for GASAL2, SALoBa, Manymap, LOGAN
+and AGAThA on all nine datasets, in both the Diff-Target and MM2-Target
+configurations, plus the geometric means the paper quotes in Section 5.3.
+"""
+
+import pytest
+
+from repro.pipeline.experiment import (
+    all_dataset_names,
+    compare_kernels,
+    geometric_mean,
+    kernel_suite,
+)
+
+from bench_utils import print_figure
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_performance_comparison(benchmark, all_datasets, hardware):
+    device, cpu = hardware
+
+    def run():
+        table = {}
+        for name, tasks in all_datasets.items():
+            for target in ("mm2", "diff"):
+                results = compare_kernels(
+                    tasks, kernel_suite(target=target), device=device, cpu=cpu
+                )
+                for kernel_name, summary in results.items():
+                    if kernel_name == "CPU":
+                        continue
+                    label = f"{kernel_name} ({'MM2' if target == 'mm2' else 'Diff'})"
+                    table.setdefault(label, {})[name] = summary["speedup_vs_cpu"]
+        for label, row in table.items():
+            row["GeoMean"] = geometric_mean(list(row.values()))
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    datasets = all_dataset_names()
+    headers = ["kernel"] + datasets + ["GeoMean"]
+    rows = [
+        [label] + [row.get(d, float("nan")) for d in datasets] + [row["GeoMean"]]
+        for label, row in table.items()
+    ]
+    print_figure("Figure 8: speedup over Minimap2 (CPU)", headers, rows)
+
+    geo = {label: row["GeoMean"] for label, row in table.items()}
+    agatha = geo["AGAThA (MM2)"]
+    print(
+        f"\nHeadline geomeans -- AGAThA vs CPU: {agatha:.1f}x (paper 18.8x); "
+        f"vs best MM2-target GPU baseline: {agatha / max(geo['SALoBa (MM2)'], geo['Manymap (MM2)'], geo['GASAL2 (MM2)']):.1f}x (paper 9.6x); "
+        f"vs best Diff-target GPU baseline: {agatha / max(geo['SALoBa (Diff)'], geo['LOGAN (Diff)'], geo['Manymap (Diff)'], geo['GASAL2 (Diff)']):.1f}x (paper 3.6x)"
+    )
+
+    # Shape assertions from Section 5.3.
+    assert agatha > 10.0, "AGAThA should be an order of magnitude over the CPU"
+    assert agatha > geo["SALoBa (MM2)"] > geo["GASAL2 (MM2)"]
+    assert geo["GASAL2 (MM2)"] < 1.0, "exact GASAL2 falls behind the CPU"
+    assert agatha == max(geo.values()), "AGAThA is the fastest kernel overall"

@@ -1,0 +1,52 @@
+"""Figure 9 -- ablation study: Baseline, +RW, +SD, +SR, +UB."""
+
+import pytest
+
+from repro.baselines.aligner import Minimap2CpuAligner
+from repro.kernels import AgathaKernel
+from repro.pipeline.experiment import geometric_mean
+
+from bench_utils import print_figure
+
+LADDER = [
+    ("Baseline", dict(rolling_window=False, sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False)),
+    ("(+) RW", dict(rolling_window=True, sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False)),
+    ("(+) SD", dict(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=False, uneven_bucketing=False)),
+    ("(+) SR", dict(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=True, uneven_bucketing=False)),
+    ("(+) UB", dict(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=True, uneven_bucketing=True)),
+]
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09_ablation(benchmark, all_datasets, hardware):
+    device, cpu = hardware
+
+    def run():
+        table = {}
+        for name, tasks in all_datasets.items():
+            cpu_ms = Minimap2CpuAligner(cpu).time_ms(tasks)
+            for label, flags in LADDER:
+                time_ms = AgathaKernel(**flags).simulate(tasks, device).time_ms
+                table.setdefault(label, {})[name] = cpu_ms / time_ms
+        for label, row in table.items():
+            row["GeoMean"] = geometric_mean(list(row.values()))
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    datasets = list(all_datasets)
+    rows = [
+        [label] + [table[label][d] for d in datasets] + [table[label]["GeoMean"]]
+        for label, _ in LADDER
+    ]
+    print_figure(
+        "Figure 9: ablation speedup over Minimap2 (CPU)",
+        ["variant"] + datasets + ["GeoMean"],
+        rows,
+    )
+
+    geo = [table[label]["GeoMean"] for label, _ in LADDER]
+    # The ladder improves overall, RW is the largest single step (Section
+    # 5.4 reports ~3x from RW alone) and the full design is the best.
+    assert geo[-1] == max(geo)
+    assert geo[1] > geo[0] * 1.5, "rolling window should be a large improvement"
+    assert geo[-1] > geo[0] * 3.0

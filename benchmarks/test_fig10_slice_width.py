@@ -1,0 +1,42 @@
+"""Figure 10 -- sensitivity of AGAThA to the slice width."""
+
+import pytest
+
+from repro.kernels import AgathaKernel, KernelConfig
+
+from bench_utils import print_figure
+
+SLICE_WIDTHS = [1, 2, 3, 4, 5, 6, 7, 8, 16, 32, 64, 128]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_slice_width_sensitivity(benchmark, representative_datasets, hardware):
+    device, _ = hardware
+
+    def run():
+        table = {}
+        for name, tasks in representative_datasets.items():
+            for width in SLICE_WIDTHS:
+                kernel = AgathaKernel(config=KernelConfig(slice_width=width))
+                table.setdefault(name, {})[width] = kernel.simulate(tasks, device).time_ms
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name] + [table[name][w] for w in SLICE_WIDTHS] for name in table
+    ]
+    print_figure(
+        "Figure 10: execution time (simulated ms) vs slice width",
+        ["dataset"] + [str(w) for w in SLICE_WIDTHS],
+        rows,
+    )
+
+    for name, row in table.items():
+        # The default slice width (3) sits near the optimum, and very large
+        # slices (which degenerate toward the baseline's run-ahead
+        # behaviour) are clearly worse.
+        best = min(row.values())
+        assert row[3] <= best * 1.35
+        # Very large slices degenerate toward the baseline's run-ahead
+        # behaviour and should not beat the default width meaningfully.
+        assert row[128] > row[3] * 0.95

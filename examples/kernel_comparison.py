@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare the GPU kernel designs on one evaluation dataset.
+
+Builds the ``ONT-HG002`` synthetic dataset (reads -> seeding/chaining ->
+extension tasks), verifies that every exact kernel reproduces the reference
+scores, then runs the cost simulation of each kernel and prints the
+speedups over the Minimap2 CPU baseline together with the ablation ladder
+of AGAThA's four schemes.
+
+Run:  python examples/kernel_comparison.py   (takes ~30 s: the dataset's
+dynamic programs are profiled once, in pure Python)
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.aligner import Minimap2CpuAligner
+from repro.kernels import AgathaKernel
+from repro.pipeline.experiment import (
+    compare_kernels,
+    dataset_tasks,
+    kernel_suite,
+    scaled_hardware,
+)
+
+
+def main() -> None:
+    name = "ONT-HG002"
+    print(f"Building dataset {name} (synthetic GIAB-like reads + pre-compute) ...")
+    tasks = dataset_tasks(name)
+    print(f"  {len(tasks)} extension-alignment tasks")
+
+    device, cpu = scaled_hardware()
+    print(f"hardware: {device.name} vs {cpu.name} (scaled pair, see DESIGN.md)\n")
+
+    # Exactness: AGAThA reproduces the reference scores bit for bit.
+    reference_scores = [r.score for r in Minimap2CpuAligner(cpu).run(tasks)]
+    agatha_scores = [r.score for r in AgathaKernel().run(tasks)]
+    assert reference_scores == agatha_scores
+    print("exactness check: AGAThA scores == reference scores for every task\n")
+
+    # Main comparison (Figure 8 style).
+    rows = []
+    for target in ("mm2", "diff"):
+        results = compare_kernels(tasks, kernel_suite(target=target), device=device, cpu=cpu)
+        for kernel, summary in results.items():
+            if kernel == "CPU" and target == "diff":
+                continue
+            label = "CPU" if kernel == "CPU" else f"{kernel} ({'MM2' if target == 'mm2' else 'Diff'}-Target)"
+            rows.append([label, summary["time_ms"], summary["speedup_vs_cpu"]])
+    print(format_table(["kernel", "simulated time (ms)", "speedup vs CPU"], rows))
+
+    # Ablation ladder (Figure 9 style).
+    print("\nAGAThA ablation ladder:")
+    ladder = [
+        ("Baseline", dict(rolling_window=False, sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False)),
+        ("+RW", dict(sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False)),
+        ("+RW+SD", dict(subwarp_rejoining=False, uneven_bucketing=False)),
+        ("+RW+SD+SR", dict(uneven_bucketing=False)),
+        ("+RW+SD+SR+UB", {}),
+    ]
+    cpu_ms = Minimap2CpuAligner(cpu).time_ms(tasks)
+    rows = []
+    for label, flags in ladder:
+        stats = AgathaKernel(**flags).simulate(tasks, device)
+        rows.append([label, stats.time_ms, cpu_ms / stats.time_ms, stats.total_runahead_cells])
+    print(format_table(["variant", "time (ms)", "speedup vs CPU", "run-ahead cells"], rows))
+
+
+if __name__ == "__main__":
+    main()

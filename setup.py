@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``python setup.py develop`` remains possible in offline environments
+where pip cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro: a reproduction of AGAThA (PPoPP'24) in Python.
+
+AGAThA is an exact GPU acceleration of the *guided* sequence alignment
+used by long-read mappers (Minimap2, BWA-MEM): affine-gap extension
+alignment with k-banding and Z-drop termination.  This package rebuilds
+the full system -- the alignment algorithm, the GPU-side scheduling
+schemes, the baselines they are compared against, and the evaluation
+workloads -- on top of a deterministic GPU cost-model simulator so the
+paper's experiments can be reproduced on a machine without a GPU.
+
+Subpackages
+-----------
+``repro.align``
+    The guided alignment substrate (scoring, banding, Z-drop/X-drop,
+    exact scalar oracle, vectorised wavefront engine, packing, blocks).
+``repro.gpusim``
+    The GPU execution/cost model (devices, warps, memory, executor).
+``repro.core``
+    AGAThA's contribution: rolling window, sliced diagonal, subwarp
+    rejoining, uneven bucketing, and the Table-1 performance model.
+``repro.kernels``
+    Simulated kernels: AGAThA plus the GASAL2 / SALoBa / Manymap / LOGAN
+    baselines in Diff-Target and MM2-Target variants.
+``repro.baselines``
+    CPU reference aligners (Minimap2 / BWA-MEM) with multi-core SIMD
+    throughput models.
+``repro.io``
+    FASTA I/O, synthetic GIAB-like datasets, minimizer seeding and
+    chaining (the pre-compute that creates the alignment workload).
+``repro.pipeline``
+    The end-to-end long-read mapper and the experiment harness used by
+    the benchmarks.
+``repro.analysis``
+    Workload-distribution analysis and plain-text report rendering.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,121 @@
+"""GASAL2-style input packing (paper Figure 2a).
+
+GPU sequence aligners pack the five-letter alphabet four bits per literal,
+eight literals per 32-bit word, to relieve memory-bandwidth pressure when
+streaming sequences from global memory.  The packed word layout drives the
+8x8 *block* decomposition of the score table: one packed reference word and
+one packed query word supply exactly the literals of one block, which is
+why the block is the smallest unit of workload distribution.
+
+The packing here is bit-exact in layout (literal ``k`` of a word occupies
+bits ``[4k, 4k+4)``) so that tests can assert word-level properties, and
+the cost model can count packed-word transactions rather than per-byte
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.sequence import NUM_CODES
+
+__all__ = [
+    "LITERALS_PER_WORD",
+    "BITS_PER_LITERAL",
+    "PackedSequence",
+    "pack_sequence",
+    "unpack_sequence",
+]
+
+#: Bits used per literal (A/C/G/T/N fit in 3, but 4 keeps word-aligned nibbles).
+BITS_PER_LITERAL: int = 4
+
+#: Literals stored in one 32-bit word.
+LITERALS_PER_WORD: int = 32 // BITS_PER_LITERAL
+
+#: Nibble value used to pad the tail of the last word.
+PAD_CODE: int = 0xF
+
+
+@dataclass(frozen=True)
+class PackedSequence:
+    """A 4-bit-packed sequence.
+
+    Attributes
+    ----------
+    words:
+        ``uint32`` array of packed words.
+    length:
+        Number of valid literals (the tail of the last word is padding).
+    """
+
+    words: np.ndarray
+    length: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "words", np.asarray(self.words, dtype=np.uint32))
+        if self.length < 0:
+            raise ValueError("length must be non-negative")
+        needed = -(-self.length // LITERALS_PER_WORD)
+        if self.words.size != needed:
+            raise ValueError(
+                f"expected {needed} packed words for length {self.length}, "
+                f"got {self.words.size}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_words(self) -> int:
+        """Number of 32-bit words used."""
+        return int(self.words.size)
+
+    def get(self, index: int) -> int:
+        """Extract the literal code at ``index`` (0-based)."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} out of range for length {self.length}")
+        word = int(self.words[index // LITERALS_PER_WORD])
+        shift = BITS_PER_LITERAL * (index % LITERALS_PER_WORD)
+        return (word >> shift) & 0xF
+
+    def word_for_block(self, block_index: int) -> int:
+        """Packed word covering literals ``[8 * block_index, 8 * block_index + 8)``.
+
+        One block edge of the 8x8 score-table block corresponds to exactly
+        one packed word, which is the memory-transaction unit the GPU cost
+        model charges for reading sequence data.
+        """
+        if not 0 <= block_index < self.num_words:
+            raise IndexError(f"block {block_index} out of range")
+        return int(self.words[block_index])
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def pack_sequence(codes: np.ndarray) -> PackedSequence:
+    """Pack an encoded sequence (``uint8`` codes) into 32-bit words."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.ndim != 1:
+        raise ValueError("codes must be 1-D")
+    if codes.size and codes.max(initial=0) >= NUM_CODES:
+        raise ValueError("invalid literal code (must be < 5)")
+    length = int(codes.size)
+    num_words = -(-length // LITERALS_PER_WORD) if length else 0
+    padded = np.full(num_words * LITERALS_PER_WORD, PAD_CODE, dtype=np.uint32)
+    padded[:length] = codes
+    nibbles = padded.reshape(num_words, LITERALS_PER_WORD) if num_words else padded.reshape(0, LITERALS_PER_WORD)
+    shifts = np.arange(LITERALS_PER_WORD, dtype=np.uint32) * BITS_PER_LITERAL
+    words = (nibbles << shifts).sum(axis=1, dtype=np.uint64).astype(np.uint32)
+    return PackedSequence(words=words, length=length)
+
+
+def unpack_sequence(packed: PackedSequence) -> np.ndarray:
+    """Unpack a :class:`PackedSequence` back to ``uint8`` codes."""
+    if packed.length == 0:
+        return np.empty(0, dtype=np.uint8)
+    shifts = np.arange(LITERALS_PER_WORD, dtype=np.uint32) * BITS_PER_LITERAL
+    nibbles = (packed.words[:, None] >> shifts) & np.uint32(0xF)
+    flat = nibbles.reshape(-1)[: packed.length]
+    return flat.astype(np.uint8)

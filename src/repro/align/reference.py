@@ -1,0 +1,199 @@
+"""Scalar reference implementation of guided extension alignment.
+
+This module is the **oracle** of the repository: a deliberately simple,
+cell-by-cell dynamic program that every vectorised engine and every GPU
+kernel (in its exact configurations) must reproduce bit-for-bit.  It
+favours clarity over speed and is only intended for test-sized inputs.
+
+Recurrence
+----------
+Following Minimap2 / ksw2 (the paper's reference algorithm), with ``alpha``
+the gap-open and ``beta`` the gap-extend penalty, a gap of length ``L``
+costs ``alpha + L * beta``; the recurrence is
+
+.. math::
+
+    H(i,j) &= \\max\\{E(i,j),\\ F(i,j),\\ H(i-1,j-1) + S(R[i], Q[j])\\} \\\\
+    E(i,j) &= \\max\\{H(i-1,j) - (\\alpha+\\beta),\\ E(i-1,j) - \\beta\\} \\\\
+    F(i,j) &= \\max\\{H(i,j-1) - (\\alpha+\\beta),\\ F(i,j-1) - \\beta\\}
+
+(The paper's Eq. 2-3 fold the first extension into ``alpha``; the two
+conventions differ only by what ``alpha`` denotes.  We keep ksw2's, since
+exactness against Minimap2 is the paper's whole point.)
+
+Boundary conditions describe an *extension* alignment anchored at the
+table origin: ``H(-1,-1) = 0``, ``H(i,-1) = -(alpha + (i+1) beta)`` and
+``H(-1,j) = -(alpha + (j+1) beta)``, while ``E`` / ``F`` boundaries are
+minus infinity.  Boundary values are available to any in-band cell that
+references them.
+
+Guiding
+-------
+Only cells inside the :class:`~repro.align.banding.BandGeometry` band are
+computed.  After each anti-diagonal the termination condition is evaluated
+on that anti-diagonal's maximum (see :mod:`repro.align.termination`); when
+it fires, no further anti-diagonal is computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.banding import BandGeometry
+from repro.align.scoring import ScoringScheme
+from repro.align.termination import (
+    NEG_INF,
+    TerminationCondition,
+    make_termination,
+)
+from repro.align.types import AlignmentResult
+
+__all__ = ["reference_align", "reference_score_table"]
+
+
+def reference_score_table(
+    ref: np.ndarray,
+    query: np.ndarray,
+    scoring: ScoringScheme,
+    termination: TerminationCondition | None = None,
+) -> tuple[np.ndarray, AlignmentResult]:
+    """Run the scalar DP and return the full ``H`` table plus the result.
+
+    The returned table has shape ``(ref_len, query_len)`` with ``NEG_INF``
+    in cells that were never computed (outside the band, or beyond the
+    termination anti-diagonal).  Mostly useful for debugging and for the
+    traceback module.
+    """
+    ref = np.asarray(ref, dtype=np.uint8)
+    query = np.asarray(query, dtype=np.uint8)
+    n, m = ref.size, query.size
+    geometry = BandGeometry(n, m, scoring.band_width)
+    if termination is None:
+        termination = make_termination(scoring, "zdrop")
+    termination.reset()
+
+    H = np.full((n, m), NEG_INF, dtype=np.int64)
+    E = np.full((n, m), NEG_INF, dtype=np.int64)
+    F = np.full((n, m), NEG_INF, dtype=np.int64)
+
+    if n == 0 or m == 0:
+        result = AlignmentResult(
+            score=0,
+            max_i=-1,
+            max_j=-1,
+            terminated=False,
+            antidiagonals_processed=0,
+            cells_computed=0,
+        )
+        return H, result
+
+    alpha = scoring.gap_open
+    beta = scoring.gap_extend
+    open_cost = alpha + beta
+    sub = scoring.substitution_matrix()
+
+    def boundary_h(i: int, j: int) -> int:
+        """H value on the virtual row/column -1."""
+        if i == -1 and j == -1:
+            return 0
+        if i == -1:
+            return -(alpha + (j + 1) * beta)
+        if j == -1:
+            return -(alpha + (i + 1) * beta)
+        raise AssertionError("boundary_h called for an interior cell")
+
+    def read_h(i: int, j: int) -> int:
+        if i == -1 or j == -1:
+            return boundary_h(i, j)
+        if geometry.in_band(i, j) and H[i, j] > NEG_INF:
+            return int(H[i, j])
+        return NEG_INF
+
+    def read_e(i: int, j: int) -> int:
+        if i < 0 or j < 0:
+            return NEG_INF
+        if geometry.in_band(i, j) and E[i, j] > NEG_INF:
+            return int(E[i, j])
+        return NEG_INF
+
+    def read_f(i: int, j: int) -> int:
+        if i < 0 or j < 0:
+            return NEG_INF
+        if geometry.in_band(i, j) and F[i, j] > NEG_INF:
+            return int(F[i, j])
+        return NEG_INF
+
+    cells_computed = 0
+    antidiags_processed = 0
+    terminated = False
+
+    for c in range(geometry.num_antidiagonals):
+        j_lo, j_hi = geometry.row_range(c)
+        local_best = NEG_INF
+        local_i = -1
+        local_j = -1
+        for j in range(j_lo, j_hi + 1):
+            i = c - j
+            e_val = max(read_h(i - 1, j) - open_cost, read_e(i - 1, j) - beta)
+            f_val = max(read_h(i, j - 1) - open_cost, read_f(i, j - 1) - beta)
+            diag_h = read_h(i - 1, j - 1)
+            if diag_h > NEG_INF:
+                diag_val = diag_h + int(sub[ref[i], query[j]])
+            else:
+                diag_val = NEG_INF
+            # Clamp unreachable cells at the NEG_INF floor so that every
+            # engine stores identical sentinel values for them.
+            e_val = max(e_val, NEG_INF)
+            f_val = max(f_val, NEG_INF)
+            h_val = max(e_val, f_val, diag_val, NEG_INF)
+            E[i, j] = e_val
+            F[i, j] = f_val
+            H[i, j] = h_val
+            cells_computed += 1
+            if h_val > local_best:
+                local_best = h_val
+                local_i = i
+                local_j = j
+        antidiags_processed += 1
+        if termination.update(c, local_best, local_i, local_j):
+            terminated = True
+            break
+
+    score = termination.best_score if termination.best_score > NEG_INF else 0
+    result = AlignmentResult(
+        score=int(score),
+        max_i=int(termination.best_i),
+        max_j=int(termination.best_j),
+        terminated=terminated,
+        antidiagonals_processed=antidiags_processed,
+        cells_computed=cells_computed,
+    )
+    return H, result
+
+
+def reference_align(
+    ref: np.ndarray,
+    query: np.ndarray,
+    scoring: ScoringScheme,
+    termination: TerminationCondition | None = None,
+) -> AlignmentResult:
+    """Align ``query`` against ``ref`` with the scalar oracle.
+
+    Parameters
+    ----------
+    ref, query:
+        Encoded sequences (see :func:`repro.align.sequence.encode`).
+    scoring:
+        Scoring scheme; its ``band_width`` / ``zdrop`` fields control the
+        guiding heuristics.
+    termination:
+        Optional explicit termination condition.  By default Minimap2's
+        Z-drop (or none, if the scheme disables it) is used.
+
+    Returns
+    -------
+    AlignmentResult
+        Score, best cell, termination status and work counters.
+    """
+    _, result = reference_score_table(ref, query, scoring, termination)
+    return result

@@ -1,0 +1,176 @@
+"""Termination conditions for guided alignment.
+
+The termination condition (paper Eqs. 4-7) is the second guiding
+heuristic: after every anti-diagonal ``c`` the aligner compares the best
+score *on* that anti-diagonal (the *local* maximum) against the best score
+seen on any earlier anti-diagonal (the *global* maximum).  If the local
+maximum has dropped too far below the global one, the alignment is
+considered to have degenerated into noise and the computation stops.
+
+Two concrete conditions are provided:
+
+* :class:`ZDrop` -- Minimap2's Z-drop, the exact condition the paper's
+  reference algorithm uses.  The allowed drop grows with the diagonal
+  offset between the two maxima (``Z + beta * |(i-i') - (j-j')|``) so that
+  a single long gap is not penalised as harshly as scattered mismatches.
+* :class:`XDrop` -- the BLAST-style X-drop used by LOGAN, which uses a
+  plain threshold without the diagonal-offset correction.
+
+Both are driven through the small :class:`TerminationCondition` protocol:
+``update()`` is called once per *complete* anti-diagonal with its local
+maximum; it returns ``True`` when the alignment should stop.  The objects
+also track the running global maximum, which is what the aligner finally
+reports as the alignment score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TerminationCondition",
+    "ZDrop",
+    "XDrop",
+    "NoTermination",
+    "NEG_INF",
+]
+
+#: Sentinel "minus infinity" score used across the alignment engines.  It is
+#: chosen to be representable in int32 with headroom so that subtracting gap
+#: penalties from it cannot underflow.
+NEG_INF: int = -(2**30)
+
+
+@dataclass
+class TerminationCondition:
+    """Base class: tracks the global maximum, never terminates.
+
+    Subclasses override :meth:`should_terminate`.  The ``update`` driver
+    first evaluates the condition against the global maximum accumulated
+    over *earlier* anti-diagonals (as required by Eq. 7, ``i' + j' < c``)
+    and only afterwards folds the current local maximum into the global
+    one.
+    """
+
+    #: Best score seen on any anti-diagonal processed so far.
+    best_score: int = NEG_INF
+    #: Reference index of the global best.
+    best_i: int = -1
+    #: Query index of the global best.
+    best_j: int = -1
+    #: Anti-diagonal at which termination fired, or ``-1``.
+    terminated_at: int = -1
+
+    def reset(self) -> None:
+        """Forget all state (allows reuse across alignments)."""
+        self.best_score = NEG_INF
+        self.best_i = -1
+        self.best_j = -1
+        self.terminated_at = -1
+
+    # ------------------------------------------------------------------
+    def should_terminate(
+        self, local_score: int, local_i: int, local_j: int
+    ) -> bool:
+        """Decide termination given the current anti-diagonal's maximum.
+
+        Called only when a global maximum from an earlier anti-diagonal
+        exists.  Subclasses implement the actual criterion.
+        """
+        return False
+
+    def update(self, antidiag: int, local_score: int, local_i: int, local_j: int) -> bool:
+        """Process a completed anti-diagonal.
+
+        Parameters
+        ----------
+        antidiag:
+            Index ``c`` of the completed anti-diagonal.
+        local_score, local_i, local_j:
+            The maximum score on that anti-diagonal and its cell.  Pass
+            ``local_score <= NEG_INF`` when the anti-diagonal had no
+            in-band cells; such anti-diagonals never trigger termination
+            and do not move the global maximum.
+
+        Returns
+        -------
+        bool
+            ``True`` if the alignment must terminate after this
+            anti-diagonal.
+        """
+        if local_score <= NEG_INF:
+            return False
+        if self.best_score > NEG_INF and self.should_terminate(
+            local_score, local_i, local_j
+        ):
+            self.terminated_at = antidiag
+            return True
+        if local_score > self.best_score:
+            self.best_score = local_score
+            self.best_i = local_i
+            self.best_j = local_j
+        return False
+
+    @property
+    def terminated(self) -> bool:
+        """Whether termination has fired."""
+        return self.terminated_at >= 0
+
+
+@dataclass
+class NoTermination(TerminationCondition):
+    """Termination disabled: the full (banded) table is always computed."""
+
+
+@dataclass
+class ZDrop(TerminationCondition):
+    """Minimap2's Z-drop condition (paper Eq. 5).
+
+    Terminates when::
+
+        H(i', j') - H(i, j) > Z + beta * |(i - i') - (j - j')|
+
+    where ``(i', j')`` is the global maximum over earlier anti-diagonals,
+    ``(i, j)`` the current anti-diagonal's maximum, ``Z`` the threshold and
+    ``beta`` the gap-extension penalty.
+    """
+
+    zdrop: int = 400
+    gap_extend: int = 2
+
+    def should_terminate(self, local_score: int, local_i: int, local_j: int) -> bool:
+        diag_offset = abs((local_i - self.best_i) - (local_j - self.best_j))
+        return (self.best_score - local_score) > self.zdrop + self.gap_extend * diag_offset
+
+
+@dataclass
+class XDrop(TerminationCondition):
+    """BLAST-style X-drop condition (used by LOGAN).
+
+    Terminates when the current anti-diagonal maximum has dropped more than
+    ``xdrop`` below the global maximum, with no diagonal-offset correction.
+    This penalises single long gaps more than Z-drop does, which is exactly
+    the behavioural difference the paper cites for why Minimap2 moved to
+    Z-drop.
+    """
+
+    xdrop: int = 400
+
+    def should_terminate(self, local_score: int, local_i: int, local_j: int) -> bool:
+        return (self.best_score - local_score) > self.xdrop
+
+
+def make_termination(scoring, kind: str = "zdrop") -> TerminationCondition:
+    """Build a termination condition matching a :class:`ScoringScheme`.
+
+    ``kind`` selects between ``"zdrop"``, ``"xdrop"`` and ``"none"``.  When
+    the scheme has ``zdrop == 0`` termination is disabled regardless of
+    ``kind`` (this mirrors Minimap2's ``-z 0``).
+    """
+    if kind not in {"zdrop", "xdrop", "none"}:
+        raise ValueError(f"unknown termination kind {kind!r}")
+    if kind == "none" or not scoring.has_termination:
+        return NoTermination()
+    if kind == "zdrop":
+        return ZDrop(zdrop=scoring.zdrop, gap_extend=scoring.gap_extend)
+    return XDrop(xdrop=scoring.zdrop)

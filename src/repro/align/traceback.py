@@ -1,0 +1,251 @@
+"""Alignment traceback and CIGAR reconstruction.
+
+The guided kernel the paper accelerates is *score-only* (Minimap2 runs a
+separate traceback pass on the few alignments that survive filtering), but
+the example applications in this repository want to show the actual
+alignment, so a small scalar traceback is provided.  It runs the same
+guided dynamic program as :mod:`repro.align.reference` while recording the
+move that produced each ``H`` / ``E`` / ``F`` value, then walks back from
+the best cell.
+
+Only intended for example-sized sequences; complexity is ``O(n * m)`` in
+time and memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.banding import BandGeometry
+from repro.align.scoring import ScoringScheme
+from repro.align.termination import NEG_INF, make_termination
+from repro.align.types import AlignmentResult
+
+__all__ = ["Cigar", "TracebackResult", "traceback_align"]
+
+
+@dataclass(frozen=True)
+class Cigar:
+    """A compact CIGAR string: list of ``(operation, length)`` pairs.
+
+    Operations follow SAM conventions: ``=`` match, ``X`` mismatch,
+    ``I`` insertion (extra query base), ``D`` deletion (extra reference
+    base).
+    """
+
+    operations: tuple[tuple[str, int], ...]
+
+    def to_string(self) -> str:
+        """Render as a standard CIGAR string, merging adjacent ``=``/``X``
+        into ``M`` is *not* done -- exact match/mismatch ops are kept."""
+        return "".join(f"{length}{op}" for op, length in self.operations)
+
+    @property
+    def aligned_query_length(self) -> int:
+        """Query bases consumed by the alignment."""
+        return sum(length for op, length in self.operations if op in "=XI")
+
+    @property
+    def aligned_ref_length(self) -> int:
+        """Reference bases consumed by the alignment."""
+        return sum(length for op, length in self.operations if op in "=XD")
+
+    @property
+    def matches(self) -> int:
+        """Number of exactly matching bases."""
+        return sum(length for op, length in self.operations if op == "=")
+
+    @property
+    def edit_distance(self) -> int:
+        """Mismatches plus inserted plus deleted bases."""
+        return sum(length for op, length in self.operations if op in "XID")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_string()
+
+
+@dataclass(frozen=True)
+class TracebackResult:
+    """Alignment result together with the reconstructed path."""
+
+    result: AlignmentResult
+    cigar: Cigar
+    ref_start: int
+    ref_end: int
+    query_start: int
+    query_end: int
+
+
+# Move codes stored per cell.
+_MOVE_NONE = 0
+_MOVE_DIAG = 1  # H came from H(i-1, j-1) + S
+_MOVE_E = 2  # H came from E (gap in query / deletion direction)
+_MOVE_F = 3  # H came from F (gap in reference / insertion direction)
+_E_OPEN = 0  # E came from H(i-1, j) - open
+_E_EXT = 1  # E came from E(i-1, j) - extend
+_F_OPEN = 0
+_F_EXT = 1
+
+
+def traceback_align(
+    ref: np.ndarray,
+    query: np.ndarray,
+    scoring: ScoringScheme,
+) -> TracebackResult:
+    """Align and reconstruct the path ending at the best-scoring cell.
+
+    The alignment always starts at the table origin (extension alignment),
+    so ``ref_start == query_start == 0``; the end coordinates are the best
+    cell (exclusive).
+    """
+    ref = np.asarray(ref, dtype=np.uint8)
+    query = np.asarray(query, dtype=np.uint8)
+    n, m = ref.size, query.size
+    geometry = BandGeometry(n, m, scoring.band_width)
+    termination = make_termination(scoring, "zdrop")
+    termination.reset()
+
+    if n == 0 or m == 0:
+        empty = AlignmentResult(0, -1, -1, False, 0, 0)
+        return TracebackResult(empty, Cigar(()), 0, 0, 0, 0)
+
+    alpha, beta = scoring.gap_open, scoring.gap_extend
+    open_cost = alpha + beta
+    sub = scoring.substitution_matrix()
+
+    H = np.full((n, m), NEG_INF, dtype=np.int64)
+    E = np.full((n, m), NEG_INF, dtype=np.int64)
+    F = np.full((n, m), NEG_INF, dtype=np.int64)
+    move_h = np.zeros((n, m), dtype=np.uint8)
+    move_e = np.zeros((n, m), dtype=np.uint8)
+    move_f = np.zeros((n, m), dtype=np.uint8)
+
+    def bound_h(i: int, j: int) -> int:
+        if i == -1 and j == -1:
+            return 0
+        if i == -1:
+            return -(alpha + (j + 1) * beta)
+        return -(alpha + (i + 1) * beta)
+
+    cells = 0
+    antidiags = 0
+    terminated = False
+    for c in range(geometry.num_antidiagonals):
+        j_lo, j_hi = geometry.row_range(c)
+        local_best, local_i, local_j = NEG_INF, -1, -1
+        for j in range(j_lo, j_hi + 1):
+            i = c - j
+            up_h = bound_h(-1, j) if i == 0 else (int(H[i - 1, j]) if geometry.in_band(i - 1, j) else NEG_INF)
+            up_e = NEG_INF if i == 0 else (int(E[i - 1, j]) if geometry.in_band(i - 1, j) else NEG_INF)
+            left_h = bound_h(i, -1) if j == 0 else (int(H[i, j - 1]) if geometry.in_band(i, j - 1) else NEG_INF)
+            left_f = NEG_INF if j == 0 else (int(F[i, j - 1]) if geometry.in_band(i, j - 1) else NEG_INF)
+            if i == 0 or j == 0:
+                diag_h = bound_h(i - 1, j - 1)
+            else:
+                diag_h = int(H[i - 1, j - 1]) if geometry.in_band(i - 1, j - 1) else NEG_INF
+
+            e_open, e_ext = up_h - open_cost, up_e - beta
+            if e_open >= e_ext:
+                e_val, move_e[i, j] = e_open, _E_OPEN
+            else:
+                e_val, move_e[i, j] = e_ext, _E_EXT
+            f_open, f_ext = left_h - open_cost, left_f - beta
+            if f_open >= f_ext:
+                f_val, move_f[i, j] = f_open, _F_OPEN
+            else:
+                f_val, move_f[i, j] = f_ext, _F_EXT
+            diag_val = diag_h + int(sub[ref[i], query[j]]) if diag_h > NEG_INF else NEG_INF
+
+            e_val = max(e_val, NEG_INF)
+            f_val = max(f_val, NEG_INF)
+            h_val = max(diag_val, e_val, f_val, NEG_INF)
+            if h_val == diag_val and diag_val > NEG_INF:
+                move_h[i, j] = _MOVE_DIAG
+            elif h_val == e_val:
+                move_h[i, j] = _MOVE_E
+            elif h_val == f_val:
+                move_h[i, j] = _MOVE_F
+            else:
+                move_h[i, j] = _MOVE_NONE
+            H[i, j], E[i, j], F[i, j] = h_val, e_val, f_val
+            cells += 1
+            if h_val > local_best:
+                local_best, local_i, local_j = h_val, i, j
+        antidiags += 1
+        if termination.update(c, local_best, local_i, local_j):
+            terminated = True
+            break
+
+    score = termination.best_score if termination.best_score > NEG_INF else 0
+    result = AlignmentResult(
+        score=int(score),
+        max_i=int(termination.best_i),
+        max_j=int(termination.best_j),
+        terminated=terminated,
+        antidiagonals_processed=antidiags,
+        cells_computed=cells,
+    )
+
+    # ------------------------------------------------------------------
+    # walk back from the best cell
+    # ------------------------------------------------------------------
+    ops: list[tuple[str, int]] = []
+
+    def push(op: str, length: int = 1) -> None:
+        if ops and ops[-1][0] == op:
+            ops[-1] = (op, ops[-1][1] + length)
+        else:
+            ops.append((op, length))
+
+    i, j = result.max_i, result.max_j
+    if i < 0 or j < 0:
+        return TracebackResult(result, Cigar(()), 0, 0, 0, 0)
+
+    state = "H"
+    while i >= 0 and j >= 0:
+        if state == "H":
+            move = move_h[i, j]
+            if move == _MOVE_DIAG:
+                push("=" if ref[i] == query[j] else "X")
+                i -= 1
+                j -= 1
+            elif move == _MOVE_E:
+                state = "E"
+            elif move == _MOVE_F:
+                state = "F"
+            else:
+                break
+        elif state == "E":
+            # E consumes a reference base (deletion w.r.t. the query).
+            opened = move_e[i, j] == _E_OPEN
+            push("D")
+            i -= 1
+            state = "H" if opened else "E"
+        else:  # state == "F"
+            opened = move_f[i, j] == _F_OPEN
+            push("I")
+            j -= 1
+            state = "H" if opened else "F"
+        if i < 0 or j < 0:
+            break
+
+    # Any remaining prefix of the other sequence is a leading gap.
+    while i >= 0:
+        push("D")
+        i -= 1
+    while j >= 0:
+        push("I")
+        j -= 1
+
+    ops.reverse()
+    cigar = Cigar(tuple(ops))
+    return TracebackResult(
+        result=result,
+        cigar=cigar,
+        ref_start=0,
+        ref_end=result.max_i + 1,
+        query_start=0,
+        query_end=result.max_j + 1,
+    )

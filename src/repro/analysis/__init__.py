@@ -1,0 +1,28 @@
+"""Analysis helpers: workload distributions and report formatting.
+
+``workload``
+    The histograms of Figures 3(b) and 12: how the anti-diagonal workload
+    is distributed over tasks, and how the per-thread block workload is
+    distributed under the different balancing schemes.
+``report``
+    Plain-text table rendering used by the examples and the benchmark
+    harness (the repository has no plotting dependency; every figure is
+    reproduced as the table of series the plot would show).
+"""
+
+from repro.analysis.workload import (
+    workload_histogram,
+    task_workload_antidiagonals,
+    per_subwarp_block_distribution,
+    long_task_fraction,
+)
+from repro.analysis.report import format_table, format_speedup_table
+
+__all__ = [
+    "workload_histogram",
+    "task_workload_antidiagonals",
+    "per_subwarp_block_distribution",
+    "long_task_fraction",
+    "format_table",
+    "format_speedup_table",
+]

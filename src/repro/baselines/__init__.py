@@ -1,0 +1,27 @@
+"""CPU baselines: Minimap2- and BWA-MEM-style guided aligners.
+
+The GPU speedups of the paper are always reported relative to the
+multi-threaded, SIMD-vectorised CPU implementation of the same guided
+algorithm (Minimap2's ksw2 kernel with SSE4.1 on a 16-core EPYC, and in
+Section 5.8 the AVX-512 mm2-fast implementation on a 48-core Xeon).  This
+package provides that anchor:
+
+* the *scores* come from the same exact engine every exact GPU kernel
+  uses (the CPU implementation is by definition the reference algorithm);
+* the *time* comes from a throughput model: the banded cells the guided
+  algorithm actually computes (termination included, i.e. no run-ahead)
+  divided by the machine's sustained cell rate (cores x SIMD lanes x clock
+  x efficiency).
+"""
+
+from repro.baselines.cpu_model import CpuSpec, CPU_PRESETS, get_cpu
+from repro.baselines.aligner import CpuAligner, Minimap2CpuAligner, BwaMemCpuAligner
+
+__all__ = [
+    "CpuSpec",
+    "CPU_PRESETS",
+    "get_cpu",
+    "CpuAligner",
+    "Minimap2CpuAligner",
+    "BwaMemCpuAligner",
+]

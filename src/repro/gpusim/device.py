@@ -1,0 +1,239 @@
+"""GPU device specifications and the cycle cost model.
+
+The simulator prices a kernel design in *warp-cycles* -- the latency a
+warp (or subwarp) spends computing cells, waiting on memory transactions
+and idling due to divergence -- and then lets a :class:`DeviceSpec` convert
+aggregate warp-cycles into wall-clock milliseconds: a device executes
+``concurrent_warps`` warps in parallel at ``clock_ghz`` and is additionally
+bounded by its global-memory bandwidth roofline.
+
+The :class:`CostModel` constants are deliberately few and are shared by
+*every* kernel design, so the comparisons in the benchmark harness measure
+differences in schedule structure, never differences in tuning constants.
+Their default values follow the ratios used in the paper's own performance
+model (Section 4.5): computing a cell is cheap, a global-memory transaction
+is roughly an order of magnitude more expensive than a shared-memory one,
+and warp-level reductions cost a handful of cycles (more on pre-Ampere
+parts that lack ``__reduce_max_sync``, which is exactly the RTX 2080Ti
+caveat of Section 5.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Mapping
+
+__all__ = [
+    "CostModel",
+    "DeviceSpec",
+    "DEVICES",
+    "get_device",
+    "RTX_A6000",
+    "A100",
+    "RTX_2080TI",
+    "H100_DPX",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cycle costs charged by every kernel simulation.
+
+    Attributes
+    ----------
+    cycles_per_cell:
+        Compute cycles one thread spends on one score-table cell (the
+        ``1 / Comp.TP`` term of the paper's model).
+    global_access_cycles:
+        Amortised cycles per 32-bit global-memory transaction issued by a
+        thread (the ``1 / Mem.TP`` term).
+    shared_access_cycles:
+        Cycles per shared-memory access (LMB reads/writes of the rolling
+        window).
+    warp_reduce_cycles:
+        Cycles for a warp/subwarp max-reduction when the hardware has
+        ``__reduce_max_sync``.
+    shared_reduce_cycles:
+        Cycles for the shared-memory fallback reduction used on devices
+        without warp-reduce support (RTX 2080Ti path of Section 5.8).
+    rejoin_overhead_cycles:
+        Cost of one subwarp-rejoining attempt (flag scan, TA copy and
+        ``__match_any_sync`` re-ID) charged at a slice boundary.
+    termination_check_cycles:
+        Cycles for evaluating the Z-drop inequality once.
+    bytes_per_global_access:
+        Payload of one counted global transaction (32-bit word).
+    """
+
+    cycles_per_cell: float = 9.0
+    global_access_cycles: float = 24.0
+    shared_access_cycles: float = 2.0
+    warp_reduce_cycles: float = 6.0
+    shared_reduce_cycles: float = 24.0
+    rejoin_overhead_cycles: float = 32.0
+    termination_check_cycles: float = 4.0
+    bytes_per_global_access: int = 4
+
+    def replace(self, **changes) -> "CostModel":
+        """Return a copy with the given constants replaced."""
+        return _dc_replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A GPU (or GPU-like) execution target.
+
+    Attributes
+    ----------
+    name:
+        Marketing name used in reports.
+    num_sms:
+        Streaming multiprocessors.
+    resident_warps_per_sm:
+        Warps the scheduler keeps in flight per SM (occupancy after shared
+        memory usage); ``num_sms * resident_warps_per_sm`` warps execute
+        concurrently in the simulator.
+    clock_ghz:
+        Core clock used to convert cycles to time.
+    mem_bandwidth_gbps:
+        Global-memory bandwidth for the roofline bound (GB/s).
+    shared_mem_per_sm_kb:
+        Shared memory capacity per SM; the rolling-window LMB must fit.
+    has_warp_reduce:
+        Whether ``__reduce_max_sync`` is available (Ampere+).  When false,
+        reductions are charged at ``shared_reduce_cycles``.
+    dpx_factor:
+        Speedup factor applied to ``cycles_per_cell`` for devices with DPX
+        instructions (Hopper); 1.0 elsewhere.  Used by the Section 6
+        discussion experiment.
+    """
+
+    name: str
+    num_sms: int
+    resident_warps_per_sm: int
+    clock_ghz: float
+    mem_bandwidth_gbps: float
+    shared_mem_per_sm_kb: int = 100
+    has_warp_reduce: bool = True
+    dpx_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.resident_warps_per_sm <= 0:
+            raise ValueError("device must have positive SM and warp counts")
+        if self.clock_ghz <= 0 or self.mem_bandwidth_gbps <= 0:
+            raise ValueError("clock and bandwidth must be positive")
+        if self.dpx_factor < 1.0:
+            raise ValueError("dpx_factor must be >= 1.0")
+
+    # ------------------------------------------------------------------
+    @property
+    def concurrent_warps(self) -> int:
+        """Warps the device executes in parallel."""
+        return self.num_sms * self.resident_warps_per_sm
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert warp-cycles into milliseconds at the device clock."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        return cycles / (self.clock_ghz * 1e9) * 1e3
+
+    def bandwidth_bound_ms(self, total_global_bytes: float) -> float:
+        """Lower bound on execution time from global-memory traffic alone."""
+        if total_global_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        return total_global_bytes / (self.mem_bandwidth_gbps * 1e9) * 1e3
+
+    def effective_cell_cycles(self, cost: CostModel) -> float:
+        """Per-cell compute cycles after the DPX speedup (if any)."""
+        return cost.cycles_per_cell / self.dpx_factor
+
+    def reduce_cycles(self, cost: CostModel) -> float:
+        """Cycles of one max-reduction on this device."""
+        return cost.warp_reduce_cycles if self.has_warp_reduce else cost.shared_reduce_cycles
+
+    def replace(self, **changes) -> "DeviceSpec":
+        """Return a copy with the given fields replaced."""
+        return _dc_replace(self, **changes)
+
+    def scale(self, factor: float) -> "DeviceSpec":
+        """Return a proportionally smaller (or larger) device.
+
+        The benchmark harness works with hundreds of alignment tasks rather
+        than the paper's 50 000-read datasets, so it scales the *hardware*
+        of both the GPU and the CPU baseline by the same factor to keep the
+        machines saturated the way the full datasets saturate the real
+        parts.  Scaling divides the parallel resources (SMs) and the memory
+        bandwidth; per-SM properties (clock, shared memory, warp slots) are
+        unchanged, so all intra-warp behaviour is identical.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return self.replace(
+            name=f"{self.name} (x{factor:g})",
+            num_sms=max(1, int(round(self.num_sms * factor))),
+            mem_bandwidth_gbps=self.mem_bandwidth_gbps * factor,
+        )
+
+
+# ----------------------------------------------------------------------
+# Device presets used in the paper's evaluation (Section 5.1 / 5.8).
+# SM counts and bandwidths follow the public specifications; resident
+# warps are set to a uniform, moderate occupancy because the kernels are
+# shared-memory heavy.
+# ----------------------------------------------------------------------
+RTX_A6000 = DeviceSpec(
+    name="RTX A6000",
+    num_sms=84,
+    resident_warps_per_sm=4,
+    clock_ghz=1.80,
+    mem_bandwidth_gbps=768.0,
+    shared_mem_per_sm_kb=100,
+    has_warp_reduce=True,
+)
+
+A100 = DeviceSpec(
+    name="A100",
+    num_sms=108,
+    resident_warps_per_sm=3,
+    clock_ghz=1.41,
+    mem_bandwidth_gbps=1555.0,
+    shared_mem_per_sm_kb=164,
+    has_warp_reduce=True,
+)
+
+RTX_2080TI = DeviceSpec(
+    name="RTX 2080Ti",
+    num_sms=68,
+    resident_warps_per_sm=3,
+    clock_ghz=1.55,
+    mem_bandwidth_gbps=616.0,
+    shared_mem_per_sm_kb=64,
+    has_warp_reduce=False,
+)
+
+H100_DPX = DeviceSpec(
+    name="H100 (DPX)",
+    num_sms=114,
+    resident_warps_per_sm=5,
+    clock_ghz=1.60,
+    mem_bandwidth_gbps=2000.0,
+    shared_mem_per_sm_kb=228,
+    has_warp_reduce=True,
+    dpx_factor=2.0,
+)
+
+#: All device presets keyed by a short identifier.
+DEVICES: Mapping[str, DeviceSpec] = {
+    "a6000": RTX_A6000,
+    "a100": A100,
+    "2080ti": RTX_2080TI,
+    "h100": H100_DPX,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by its short identifier (case-insensitive)."""
+    key = name.lower()
+    if key not in DEVICES:
+        raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICES)}")
+    return DEVICES[key]

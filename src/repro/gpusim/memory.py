@@ -1,0 +1,143 @@
+"""Shared-memory and global-memory models.
+
+Two small pieces used throughout the kernel implementations:
+
+:class:`SharedMemoryBuffer`
+    A capacity-checked allocation of per-SM shared memory.  The rolling
+    window's local maximum buffer (LMB) is allocated from it; allocation
+    failures model the situation where a slice is too tall for shared
+    memory and the kernel must fall back to spilling (Section 4.1/4.2
+    trade-off).
+
+:class:`GlobalMemoryCounter`
+    A transaction counter with a simple coalescing model: when a group of
+    ``threads`` each access consecutive 32-bit words, the hardware merges
+    them into ``ceil(threads * 4 / segment_bytes)`` transactions; strided
+    or scattered accesses are not merged.  Kernels use it to translate
+    "each thread stores its local maximum" into the number of transactions
+    actually issued, which is the quantity the cost model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.trace import MemoryTraffic
+
+__all__ = ["SharedMemoryBuffer", "GlobalMemoryCounter"]
+
+
+class SharedMemoryAllocationError(RuntimeError):
+    """Raised when a kernel requests more shared memory than the SM has."""
+
+
+@dataclass
+class SharedMemoryBuffer:
+    """Per-SM shared memory with capacity accounting.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Shared memory available to one thread block (from the device spec).
+    """
+
+    capacity_bytes: int
+    allocated_bytes: int = 0
+    allocations: dict = field(default_factory=dict)
+
+    def allocate(self, name: str, num_bytes: int) -> None:
+        """Reserve ``num_bytes`` under ``name``.
+
+        Raises
+        ------
+        SharedMemoryAllocationError
+            If the allocation would exceed capacity.
+        """
+        if num_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self.allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if self.allocated_bytes + num_bytes > self.capacity_bytes:
+            raise SharedMemoryAllocationError(
+                f"allocating {num_bytes} B for {name!r} exceeds shared memory "
+                f"capacity ({self.allocated_bytes}/{self.capacity_bytes} B used)"
+            )
+        self.allocations[name] = num_bytes
+        self.allocated_bytes += num_bytes
+
+    def free(self, name: str) -> None:
+        """Release a named allocation."""
+        size = self.allocations.pop(name)
+        self.allocated_bytes -= size
+
+    def fits(self, num_bytes: int) -> bool:
+        """Whether ``num_bytes`` more would still fit."""
+        return self.allocated_bytes + num_bytes <= self.capacity_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Unallocated shared memory."""
+        return self.capacity_bytes - self.allocated_bytes
+
+
+@dataclass
+class GlobalMemoryCounter:
+    """Counts coalesced global-memory transactions.
+
+    Parameters
+    ----------
+    segment_bytes:
+        Size of one memory transaction segment (32 B sectors by default).
+    word_bytes:
+        Size of the values the kernels move (32-bit words).
+    """
+
+    segment_bytes: int = 32
+    word_bytes: int = 4
+    traffic: MemoryTraffic = field(default_factory=MemoryTraffic)
+
+    # ------------------------------------------------------------------
+    def _transactions(self, threads: int, coalesced: bool) -> float:
+        if threads <= 0:
+            return 0.0
+        if coalesced:
+            return -(-threads * self.word_bytes // self.segment_bytes)
+        return float(threads)
+
+    def read(self, threads: int, *, coalesced: bool, count: float = 1.0) -> float:
+        """Record ``count`` read events by ``threads`` threads each.
+
+        Returns the number of transactions charged.
+        """
+        tx = self._transactions(threads, coalesced) * count
+        self.traffic.global_reads += tx
+        return tx
+
+    def write(self, threads: int, *, coalesced: bool, count: float = 1.0) -> float:
+        """Record ``count`` write events by ``threads`` threads each."""
+        tx = self._transactions(threads, coalesced) * count
+        self.traffic.global_writes += tx
+        return tx
+
+    def shared(self, accesses: float) -> None:
+        """Record shared-memory accesses (no coalescing concept applied)."""
+        self.traffic.shared_accesses += accesses
+
+    def reduction(self, count: float = 1.0) -> None:
+        """Record warp/subwarp max-reductions."""
+        self.traffic.reductions += count
+
+    def termination_check(self, count: float = 1.0) -> None:
+        """Record Z-drop condition evaluations."""
+        self.traffic.termination_checks += count
+
+    def snapshot(self) -> MemoryTraffic:
+        """Return a copy of the accumulated traffic."""
+        t = self.traffic
+        return MemoryTraffic(
+            global_reads=t.global_reads,
+            global_writes=t.global_writes,
+            shared_accesses=t.shared_accesses,
+            reductions=t.reductions,
+            termination_checks=t.termination_checks,
+        )

@@ -1,0 +1,67 @@
+"""Data handling: FASTA I/O, synthetic datasets and the seeding/chaining
+pre-compute that turns reads into extension-alignment tasks.
+
+The paper aligns GIAB reads (HiFi / CLR / ONT, 50 000 reads per dataset)
+against GRCh38 after running them through Minimap2's pre-computation
+(seeding and chaining); the alignment kernel only ever sees the resulting
+(reference segment, query segment) pairs.  Without access to those
+datasets this package provides the synthetic equivalent:
+
+``fasta``
+    Reading and writing the ``.fasta`` format the AGAThA artifact uses for
+    its inputs.
+``datasets``
+    Seeded synthetic reference genomes and technology-specific read
+    simulators (read-length distributions and error profiles for HiFi,
+    CLR and ONT), plus the named dataset registry that mirrors the nine
+    GIAB datasets of the evaluation and the long/short mixtures of
+    Figure 13.
+``seed_chain``
+    Minimizer seeding, colinear chaining and extension-task extraction --
+    the pre-compute step that produces the alignment workload with its
+    characteristic long-tailed size distribution (Figure 3b).
+"""
+
+from repro.io.fasta import read_fasta, write_fasta, FastaRecord
+from repro.io.datasets import (
+    ReadProfile,
+    TECHNOLOGY_PROFILES,
+    DatasetSpec,
+    DATASET_REGISTRY,
+    SimulatedRead,
+    synthetic_reference,
+    simulate_reads,
+    build_dataset,
+    long_short_mixture_tasks,
+)
+from repro.io.seed_chain import (
+    Minimizer,
+    Anchor,
+    Chain,
+    minimizers,
+    MinimizerIndex,
+    chain_anchors,
+    extension_tasks_for_read,
+)
+
+__all__ = [
+    "read_fasta",
+    "write_fasta",
+    "FastaRecord",
+    "ReadProfile",
+    "TECHNOLOGY_PROFILES",
+    "DatasetSpec",
+    "DATASET_REGISTRY",
+    "SimulatedRead",
+    "synthetic_reference",
+    "simulate_reads",
+    "build_dataset",
+    "long_short_mixture_tasks",
+    "Minimizer",
+    "Anchor",
+    "Chain",
+    "minimizers",
+    "MinimizerIndex",
+    "chain_anchors",
+    "extension_tasks_for_read",
+]

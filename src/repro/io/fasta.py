@@ -1,0 +1,83 @@
+"""Minimal FASTA reading and writing.
+
+The AGAThA artifact consumes pairs of ``.fasta`` files (one reference
+segment and one query segment per alignment, ``>>> <id>`` headers in its
+sample data, standard ``> <id>`` headers in GenBank-style files).  This
+module reads both header styles and writes standard FASTA, so the example
+applications can exchange data with the original artifact's format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Union
+
+import numpy as np
+
+from repro.align.sequence import decode, encode
+
+__all__ = ["FastaRecord", "read_fasta", "write_fasta"]
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA entry: an identifier and an encoded sequence."""
+
+    name: str
+    sequence: np.ndarray
+
+    @property
+    def length(self) -> int:
+        return int(self.sequence.size)
+
+    def to_text(self, line_width: int = 60) -> str:
+        """Render as FASTA text."""
+        seq = decode(self.sequence)
+        lines = [f">{self.name}"]
+        for k in range(0, len(seq), line_width):
+            lines.append(seq[k : k + line_width])
+        return "\n".join(lines) + "\n"
+
+
+def read_fasta(path: Union[str, Path]) -> List[FastaRecord]:
+    """Read a FASTA file (supports ``>`` and the artifact's ``>>>`` headers).
+
+    Blank lines are ignored; sequences may span multiple lines.  Characters
+    outside ``ACGT`` (case-insensitive) are read as ``N``.
+    """
+    path = Path(path)
+    records: List[FastaRecord] = []
+    name: str | None = None
+    chunks: List[str] = []
+
+    def flush() -> None:
+        nonlocal name, chunks
+        if name is not None:
+            records.append(FastaRecord(name=name, sequence=encode("".join(chunks))))
+        name, chunks = None, []
+
+    with path.open("r", encoding="ascii") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                flush()
+                name = line.lstrip(">").strip()
+            else:
+                if name is None:
+                    raise ValueError(f"{path}: sequence data before the first header")
+                chunks.append(line)
+    flush()
+    return records
+
+
+def write_fasta(
+    path: Union[str, Path], records: Iterable[FastaRecord], line_width: int = 60
+) -> None:
+    """Write records to ``path`` in standard FASTA format."""
+    path = Path(path)
+    with path.open("w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(record.to_text(line_width=line_width))

@@ -1,0 +1,342 @@
+"""Minimizer seeding, colinear chaining and extension-task extraction.
+
+Minimap2 (and BWA-MEM) do not run the guided dynamic program over whole
+reads: a *pre-computation* finds short exact matches (minimizer anchors),
+chains the colinear ones, and only the regions *between* and *around* the
+chained anchors are handed to the extension aligner.  The paper's datasets
+are produced by exactly this step ("ran them through the pre-computing
+steps to obtain the final datasets for alignment", Section 5.1), and the
+characteristic long-tailed task-size distribution of Figure 3(b) is its
+direct consequence: most inter-anchor gaps are tiny, while occasional
+sparse regions (high error, structural difference, chimeric joins) leave
+kilobase-scale gaps.
+
+This module implements that pre-computation:
+
+* :func:`minimizers` -- (w, k) minimizer sampling of a sequence;
+* :class:`MinimizerIndex` -- a hash index of the reference minimizers;
+* :func:`chain_anchors` -- greedy colinear chaining of anchor hits by
+  diagonal binning (a faithful, if simplified, stand-in for Minimap2's
+  dynamic-programming chainer);
+* :func:`extension_tasks_for_read` -- converts the best chain of a read
+  into left-extension, inter-anchor and right-extension
+  :class:`~repro.align.types.AlignmentTask` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme
+from repro.align.types import AlignmentTask
+
+__all__ = [
+    "Minimizer",
+    "Anchor",
+    "Chain",
+    "minimizers",
+    "MinimizerIndex",
+    "chain_anchors",
+    "extension_tasks_for_read",
+]
+
+
+@dataclass(frozen=True)
+class Minimizer:
+    """A sampled k-mer: its hash and starting position."""
+
+    position: int
+    hash_value: int
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """An exact k-mer match between the query and the reference."""
+
+    query_pos: int
+    ref_pos: int
+
+    @property
+    def diagonal(self) -> int:
+        """Reference offset of the match (``ref_pos - query_pos``)."""
+        return self.ref_pos - self.query_pos
+
+
+@dataclass
+class Chain:
+    """A colinear group of anchors."""
+
+    anchors: List[Anchor] = field(default_factory=list)
+
+    @property
+    def num_anchors(self) -> int:
+        return len(self.anchors)
+
+    @property
+    def query_span(self) -> tuple[int, int]:
+        """Query range covered by the chain (first anchor start, last end)."""
+        return (self.anchors[0].query_pos, self.anchors[-1].query_pos)
+
+    @property
+    def ref_span(self) -> tuple[int, int]:
+        return (self.anchors[0].ref_pos, self.anchors[-1].ref_pos)
+
+    @property
+    def score(self) -> int:
+        """Chaining score: anchor count (sufficient for ranking here)."""
+        return self.num_anchors
+
+
+# ----------------------------------------------------------------------
+# minimizer sampling
+# ----------------------------------------------------------------------
+def _kmer_hashes(seq: np.ndarray, k: int) -> np.ndarray:
+    """Invertible integer hashes of every k-mer (vectorised rolling encode)."""
+    n = seq.size - k + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.uint64)
+    # Pack the k-mer into an integer base-5 representation, then scramble it
+    # with a splitmix64-style mix so minimizer sampling is not biased toward
+    # poly-A runs.
+    values = np.zeros(n, dtype=np.uint64)
+    for offset in range(k):
+        values = values * np.uint64(5) + seq[offset : offset + n].astype(np.uint64)
+    values ^= values >> np.uint64(30)
+    values *= np.uint64(0xBF58476D1CE4E5B9)
+    values &= np.uint64(0xFFFFFFFFFFFFFFFF)
+    values ^= values >> np.uint64(27)
+    values *= np.uint64(0x94D049BB133111EB)
+    values &= np.uint64(0xFFFFFFFFFFFFFFFF)
+    values ^= values >> np.uint64(31)
+    return values
+
+
+def minimizers(seq: np.ndarray, k: int = 11, w: int = 5) -> List[Minimizer]:
+    """(w, k)-minimizers of an encoded sequence.
+
+    In every window of ``w`` consecutive k-mers the k-mer with the smallest
+    hash is sampled (ties resolved to the leftmost), de-duplicating
+    positions sampled by overlapping windows.
+    """
+    if k <= 0 or w <= 0:
+        raise ValueError("k and w must be positive")
+    seq = np.asarray(seq, dtype=np.uint8)
+    hashes = _kmer_hashes(seq, k)
+    n = hashes.size
+    if n == 0:
+        return []
+    out: List[Minimizer] = []
+    last_pos = -1
+    if n <= w:
+        pos = int(np.argmin(hashes))
+        return [Minimizer(position=pos, hash_value=int(hashes[pos]))]
+    # Sliding-window minimum via a monotone deque.
+    from collections import deque
+
+    dq: deque[int] = deque()
+    for i in range(n):
+        while dq and hashes[dq[-1]] >= hashes[i]:
+            dq.pop()
+        dq.append(i)
+        window_start = i - w + 1
+        if window_start < 0:
+            continue
+        while dq[0] < window_start:
+            dq.popleft()
+        pos = dq[0]
+        if pos != last_pos:
+            out.append(Minimizer(position=pos, hash_value=int(hashes[pos])))
+            last_pos = pos
+    return out
+
+
+class MinimizerIndex:
+    """Hash index of a reference sequence's minimizers."""
+
+    def __init__(self, reference: np.ndarray, k: int = 11, w: int = 5):
+        self.k = k
+        self.w = w
+        self.reference = np.asarray(reference, dtype=np.uint8)
+        self._table: Dict[int, List[int]] = {}
+        for m in minimizers(self.reference, k=k, w=w):
+            self._table.setdefault(m.hash_value, []).append(m.position)
+
+    @property
+    def num_entries(self) -> int:
+        """Distinct minimizer hashes indexed."""
+        return len(self._table)
+
+    def lookup(self, hash_value: int) -> Sequence[int]:
+        """Reference positions whose minimizer has this hash."""
+        return self._table.get(hash_value, ())
+
+    def anchors(self, query: np.ndarray, max_hits: int = 16) -> List[Anchor]:
+        """Anchor hits of a query against the index.
+
+        Minimizers occurring at more than ``max_hits`` reference positions
+        are treated as repetitive and skipped (Minimap2's ``-f`` filter).
+        """
+        out: List[Anchor] = []
+        for m in minimizers(np.asarray(query, dtype=np.uint8), k=self.k, w=self.w):
+            hits = self.lookup(m.hash_value)
+            if 0 < len(hits) <= max_hits:
+                for ref_pos in hits:
+                    out.append(Anchor(query_pos=m.position, ref_pos=ref_pos))
+        out.sort(key=lambda a: (a.query_pos, a.ref_pos))
+        return out
+
+
+# ----------------------------------------------------------------------
+# chaining
+# ----------------------------------------------------------------------
+def chain_anchors(
+    anchors: Sequence[Anchor],
+    *,
+    max_diagonal_diff: int = 400,
+    min_anchors: int = 3,
+) -> List[Chain]:
+    """Group anchors into colinear chains by diagonal binning.
+
+    Anchors whose diagonals lie within ``max_diagonal_diff`` of each other
+    and whose query positions increase are placed in the same chain.
+    Chains with fewer than ``min_anchors`` anchors are dropped.  Chains are
+    returned best (most anchors) first.
+    """
+    if not anchors:
+        return []
+    by_diag = sorted(anchors, key=lambda a: (a.diagonal, a.query_pos))
+    groups: List[List[Anchor]] = []
+    current: List[Anchor] = [by_diag[0]]
+    for anchor in by_diag[1:]:
+        if anchor.diagonal - current[0].diagonal <= max_diagonal_diff:
+            current.append(anchor)
+        else:
+            groups.append(current)
+            current = [anchor]
+    groups.append(current)
+
+    chains: List[Chain] = []
+    for group in groups:
+        # Keep a strictly increasing subsequence in query order (greedy);
+        # duplicates from repetitive minimizers are dropped.
+        group.sort(key=lambda a: (a.query_pos, a.ref_pos))
+        filtered: List[Anchor] = []
+        for anchor in group:
+            if not filtered or (
+                anchor.query_pos > filtered[-1].query_pos
+                and anchor.ref_pos > filtered[-1].ref_pos
+            ):
+                filtered.append(anchor)
+        if len(filtered) >= min_anchors:
+            chains.append(Chain(anchors=filtered))
+    chains.sort(key=lambda c: c.score, reverse=True)
+    return chains
+
+
+# ----------------------------------------------------------------------
+# extension task extraction
+# ----------------------------------------------------------------------
+def extension_tasks_for_read(
+    reference: np.ndarray,
+    query: np.ndarray,
+    chain: Chain,
+    scoring: ScoringScheme,
+    *,
+    k: int = 11,
+    min_gap: int = 32,
+    max_extension: int = 4096,
+    anchor_spacing: int = 0,
+    start_task_id: int = 0,
+) -> List[AlignmentTask]:
+    """Extension-alignment tasks implied by one chain.
+
+    Three kinds of task are produced, mirroring Minimap2's extension stage:
+
+    * a **left extension** from the first anchor toward the read's start
+      (both segments reversed so the alignment still extends away from the
+      origin);
+    * an **inter-anchor** task for every pair of consecutive anchors whose
+      gap on either sequence exceeds ``min_gap``;
+    * a **right extension** from the last anchor toward the read's end.
+
+    Reference segments are clipped to the query segment's length plus the
+    band width (extending further cannot stay inside the band), and to
+    ``max_extension``.  ``anchor_spacing`` subsamples the chain so that
+    consecutive anchors are at least that many query bases apart,
+    emulating the coarser seeding (larger k / w) real mappers use for long
+    reads and keeping the number of inter-anchor tasks proportionate.
+    """
+    reference = np.asarray(reference, dtype=np.uint8)
+    query = np.asarray(query, dtype=np.uint8)
+    tasks: List[AlignmentTask] = []
+    task_id = start_task_id
+    band = scoring.band_width or 0
+
+    anchors = list(chain.anchors)
+    if anchor_spacing > 0 and len(anchors) > 2:
+        kept = [anchors[0]]
+        for anchor in anchors[1:-1]:
+            if anchor.query_pos - kept[-1].query_pos >= anchor_spacing:
+                kept.append(anchor)
+        if anchors[-1] is not kept[-1]:
+            kept.append(anchors[-1])
+        anchors = kept
+
+    def clip(length: int) -> int:
+        return min(length, max_extension)
+
+    # ----- left extension -------------------------------------------------
+    first = anchors[0]
+    q_len = clip(first.query_pos)
+    if q_len > 0:
+        r_len = clip(min(first.ref_pos, q_len + band))
+        if r_len > 0:
+            tasks.append(
+                AlignmentTask(
+                    ref=reference[first.ref_pos - r_len : first.ref_pos][::-1].copy(),
+                    query=query[first.query_pos - q_len : first.query_pos][::-1].copy(),
+                    scoring=scoring,
+                    task_id=task_id,
+                )
+            )
+            task_id += 1
+
+    # ----- inter-anchor gaps ----------------------------------------------
+    for prev, nxt in zip(anchors, anchors[1:]):
+        q_gap = nxt.query_pos - (prev.query_pos + k)
+        r_gap = nxt.ref_pos - (prev.ref_pos + k)
+        if q_gap >= min_gap or r_gap >= min_gap:
+            q_lo, q_hi = prev.query_pos + k, nxt.query_pos
+            r_lo, r_hi = prev.ref_pos + k, nxt.ref_pos
+            if q_hi > q_lo and r_hi > r_lo:
+                tasks.append(
+                    AlignmentTask(
+                        ref=reference[r_lo:r_hi].copy(),
+                        query=query[q_lo:q_hi].copy(),
+                        scoring=scoring,
+                        task_id=task_id,
+                    )
+                )
+                task_id += 1
+
+    # ----- right extension -------------------------------------------------
+    last = anchors[-1]
+    q_start = last.query_pos + k
+    q_len = clip(query.size - q_start)
+    if q_len > 0:
+        r_start = last.ref_pos + k
+        r_len = clip(min(reference.size - r_start, q_len + band))
+        if r_len > 0:
+            tasks.append(
+                AlignmentTask(
+                    ref=reference[r_start : r_start + r_len].copy(),
+                    query=query[q_start : q_start + q_len].copy(),
+                    scoring=scoring,
+                    task_id=task_id,
+                )
+            )
+            task_id += 1
+    return tasks

@@ -1,0 +1,65 @@
+"""Tests for 4-bit input packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.packing import (
+    LITERALS_PER_WORD,
+    PackedSequence,
+    pack_sequence,
+    unpack_sequence,
+)
+from repro.align.sequence import random_sequence
+
+
+class TestPacking:
+    def test_round_trip_small(self):
+        codes = np.array([0, 1, 2, 3, 4, 0, 1, 2, 3], dtype=np.uint8)
+        assert np.array_equal(unpack_sequence(pack_sequence(codes)), codes)
+
+    @given(st.lists(st.integers(0, 4), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, codes):
+        arr = np.asarray(codes, dtype=np.uint8)
+        assert np.array_equal(unpack_sequence(pack_sequence(arr)), arr)
+
+    def test_word_count(self):
+        packed = pack_sequence(random_sequence(17, np.random.default_rng(0)))
+        assert packed.num_words == 3
+        assert len(packed) == 17
+
+    def test_empty_sequence(self):
+        packed = pack_sequence(np.empty(0, dtype=np.uint8))
+        assert packed.num_words == 0
+        assert unpack_sequence(packed).size == 0
+
+    def test_get_matches_original(self):
+        seq = random_sequence(50, np.random.default_rng(1))
+        packed = pack_sequence(seq)
+        for i in range(50):
+            assert packed.get(i) == seq[i]
+
+    def test_get_out_of_range(self):
+        packed = pack_sequence(random_sequence(8, np.random.default_rng(2)))
+        with pytest.raises(IndexError):
+            packed.get(8)
+
+    def test_word_for_block(self):
+        seq = random_sequence(16, np.random.default_rng(3))
+        packed = pack_sequence(seq)
+        assert packed.word_for_block(0) == int(packed.words[0])
+        with pytest.raises(IndexError):
+            packed.word_for_block(2)
+
+    def test_eight_literals_per_word(self):
+        assert LITERALS_PER_WORD == 8
+
+    def test_invalid_codes_rejected(self):
+        with pytest.raises(ValueError):
+            pack_sequence(np.array([0, 9], dtype=np.uint8))
+
+    def test_packed_sequence_validation(self):
+        with pytest.raises(ValueError):
+            PackedSequence(words=np.zeros(1, dtype=np.uint32), length=20)

@@ -1,0 +1,96 @@
+"""Tests for the Z-drop / X-drop termination conditions."""
+
+import pytest
+
+from repro.align.scoring import ScoringScheme, preset
+from repro.align.termination import (
+    NEG_INF,
+    NoTermination,
+    TerminationCondition,
+    XDrop,
+    ZDrop,
+    make_termination,
+)
+
+
+class TestZDrop:
+    def test_no_termination_while_improving(self):
+        z = ZDrop(zdrop=50, gap_extend=2)
+        assert not z.update(0, 10, 5, 5)
+        assert not z.update(1, 20, 6, 6)
+        assert z.best_score == 20
+
+    def test_terminates_on_large_drop(self):
+        z = ZDrop(zdrop=50, gap_extend=2)
+        z.update(0, 100, 10, 10)
+        assert z.update(1, 30, 11, 11)  # drop of 70 > 50
+        assert z.terminated and z.terminated_at == 1
+
+    def test_diagonal_offset_relaxes_threshold(self):
+        # A drop of 70 with a diagonal offset of 20 is allowed when
+        # Z + beta * offset = 50 + 2 * 20 = 90 >= 70.
+        z = ZDrop(zdrop=50, gap_extend=2)
+        z.update(0, 100, 10, 10)
+        assert not z.update(1, 30, 31, 11)
+        assert not z.terminated
+
+    def test_global_max_not_updated_by_terminating_antidiag(self):
+        z = ZDrop(zdrop=10, gap_extend=1)
+        z.update(0, 100, 5, 5)
+        z.update(1, 10, 6, 6)
+        assert z.best_score == 100
+
+    def test_empty_antidiag_ignored(self):
+        z = ZDrop(zdrop=10, gap_extend=1)
+        z.update(0, 100, 5, 5)
+        assert not z.update(1, NEG_INF, -1, -1)
+        assert z.best_score == 100
+
+    def test_reset(self):
+        z = ZDrop(zdrop=10, gap_extend=1)
+        z.update(0, 100, 5, 5)
+        z.reset()
+        assert z.best_score == NEG_INF and not z.terminated
+
+
+class TestXDrop:
+    def test_ignores_diagonal_offset(self):
+        x = XDrop(xdrop=50)
+        x.update(0, 100, 10, 10)
+        assert x.update(1, 30, 31, 11)  # same case ZDrop allows
+
+    def test_no_termination_within_threshold(self):
+        x = XDrop(xdrop=80)
+        x.update(0, 100, 10, 10)
+        assert not x.update(1, 30, 11, 11)
+
+
+class TestBaseAndFactory:
+    def test_base_never_terminates(self):
+        t = TerminationCondition()
+        t.update(0, 100, 1, 1)
+        assert not t.update(1, -1000, 2, 2)
+
+    def test_no_termination_class(self):
+        t = NoTermination()
+        t.update(0, 100, 1, 1)
+        assert not t.update(1, -10_000, 2, 2)
+
+    def test_factory_zdrop(self):
+        t = make_termination(preset("map-ont"), "zdrop")
+        assert isinstance(t, ZDrop)
+        assert t.zdrop == preset("map-ont").zdrop
+
+    def test_factory_xdrop(self):
+        assert isinstance(make_termination(preset("map-ont"), "xdrop"), XDrop)
+
+    def test_factory_disabled_when_zdrop_zero(self):
+        scheme = ScoringScheme(zdrop=0)
+        assert isinstance(make_termination(scheme, "zdrop"), NoTermination)
+
+    def test_factory_none(self):
+        assert isinstance(make_termination(preset("map-ont"), "none"), NoTermination)
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_termination(preset("map-ont"), "wat")

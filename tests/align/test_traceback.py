@@ -1,0 +1,84 @@
+"""Tests for traceback / CIGAR reconstruction."""
+
+import numpy as np
+
+from repro.align.scoring import ScoringScheme, preset
+from repro.align.sequence import decode, encode, mutate, random_sequence
+from repro.align.antidiagonal import antidiagonal_align
+from repro.align.traceback import Cigar, traceback_align
+
+
+SCHEME = ScoringScheme(match=2, mismatch=4, gap_open=4, gap_extend=2)
+
+
+class TestCigar:
+    def test_render_and_stats(self):
+        cigar = Cigar((("=", 5), ("X", 1), ("I", 2), ("=", 3), ("D", 1)))
+        assert cigar.to_string() == "5=1X2I3=1D"
+        assert cigar.matches == 8
+        assert cigar.aligned_query_length == 11
+        assert cigar.aligned_ref_length == 10
+        assert cigar.edit_distance == 4
+
+
+class TestTraceback:
+    def test_perfect_match(self):
+        seq = encode("ACGTACGTGG")
+        tb = traceback_align(seq, seq, SCHEME)
+        assert tb.cigar.to_string() == f"{len(seq)}="
+        assert tb.result.score == 2 * len(seq)
+
+    def test_mismatch_recorded(self):
+        ref = encode("ACGTACGTGG")
+        query = encode("ACGTTCGTGG")
+        tb = traceback_align(ref, query, SCHEME)
+        ops = dict()
+        for op, length in tb.cigar.operations:
+            ops[op] = ops.get(op, 0) + length
+        assert ops.get("X", 0) == 1
+        assert ops.get("=", 0) == 9
+
+    def test_cigar_lengths_match_end_coordinates(self):
+        rng = np.random.default_rng(3)
+        ref = random_sequence(120, rng)
+        query = mutate(ref, rng, substitution_rate=0.05, insertion_rate=0.02, deletion_rate=0.02)
+        tb = traceback_align(ref, query, preset("map-ont", band_width=21, zdrop=0))
+        assert tb.cigar.aligned_ref_length == tb.ref_end
+        assert tb.cigar.aligned_query_length == tb.query_end
+
+    def test_score_matches_engine(self):
+        rng = np.random.default_rng(4)
+        scheme = preset("map-ont", band_width=21, zdrop=100)
+        ref = random_sequence(90, rng)
+        query = mutate(ref, rng, substitution_rate=0.08, insertion_rate=0.02)
+        tb = traceback_align(ref, query, scheme)
+        engine = antidiagonal_align(ref, query, scheme)
+        assert tb.result.score == engine.score
+
+    def test_empty_inputs(self):
+        tb = traceback_align(encode(""), encode("ACG"), SCHEME)
+        assert tb.cigar.operations == ()
+        assert tb.result.score == 0
+
+    def test_path_reproduces_query_from_ref(self):
+        # Walking the CIGAR over the reference must regenerate the query
+        # prefix that was aligned (matches copy, X substitutes, I inserts).
+        rng = np.random.default_rng(5)
+        ref = random_sequence(60, rng)
+        query = mutate(ref, rng, substitution_rate=0.05, deletion_rate=0.03)
+        tb = traceback_align(ref, query, SCHEME)
+        i = j = 0
+        for op, length in tb.cigar.operations:
+            for _ in range(length):
+                if op in "=X":
+                    if op == "=":
+                        assert ref[i] == query[j]
+                    else:
+                        assert ref[i] != query[j]
+                    i += 1
+                    j += 1
+                elif op == "D":
+                    i += 1
+                else:  # I
+                    j += 1
+        assert i == tb.ref_end and j == tb.query_end

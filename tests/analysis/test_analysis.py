@@ -1,0 +1,70 @@
+"""Tests for workload analysis and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_speedup_table, format_table
+from repro.analysis.workload import (
+    long_task_fraction,
+    per_subwarp_block_distribution,
+    task_workload_antidiagonals,
+    workload_histogram,
+)
+from repro.kernels import AgathaKernel
+from repro.gpusim.device import RTX_A6000
+
+
+class TestWorkloadAnalysis:
+    def test_task_workload_antidiagonals(self, task_batch):
+        w = task_workload_antidiagonals(task_batch)
+        assert w.size == len(task_batch)
+        assert (w > 0).all()
+
+    def test_histogram_conservation(self):
+        workloads = [10, 20, 20, 500, 1000]
+        hist = workload_histogram(workloads, num_bins=5)
+        assert hist["task_count"].sum() == 5
+        assert hist["total_workload"].sum() == pytest.approx(sum(workloads))
+
+    def test_histogram_bin_width(self):
+        hist = workload_histogram([5, 15, 25], bin_width=10.0)
+        assert hist["task_count"].sum() == 3
+        with pytest.raises(ValueError):
+            workload_histogram([1.0], bin_width=0)
+
+    def test_histogram_empty(self):
+        hist = workload_histogram([])
+        assert hist["task_count"].size == 0
+
+    def test_long_task_fraction(self):
+        workloads = [1] * 90 + [100] * 10
+        frac = long_task_fraction(workloads, threshold_quantile=0.9)
+        assert frac > 0.9
+        assert long_task_fraction([], 0.9) == 0.0
+        with pytest.raises(ValueError):
+            long_task_fraction([1.0], threshold_quantile=1.5)
+
+    def test_per_subwarp_block_distribution(self, task_batch):
+        stats = AgathaKernel().simulate(task_batch, RTX_A6000.scale(1 / 84))
+        blocks = per_subwarp_block_distribution(stats)
+        assert blocks.size > 0
+        assert blocks.sum() == pytest.approx(stats.total_cells / 64.0)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["name", "value"], [["a", 1.234], ["bee", 5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.23" in text and "bee" in text
+
+    def test_format_speedup_table(self):
+        table = {
+            "AGAThA": {"HiFi-HG005": 18.0, "GeoMean": 18.0},
+            "SALoBa": {"HiFi-HG005": 2.0, "GeoMean": 2.0},
+        }
+        text = format_speedup_table(table)
+        assert "AGAThA" in text and "GeoMean" in text
+
+    def test_format_speedup_table_empty(self):
+        assert format_speedup_table({}) == "(empty)"

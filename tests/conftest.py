@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import preset
+from repro.align.sequence import mutate, random_sequence
+from repro.align.types import AlignmentTask
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_scheme():
+    """A small-band scoring scheme that keeps test DP tables tiny."""
+    return preset("map-ont", band_width=17, zdrop=80)
+
+
+def make_task_batch(rng, scheme, count=12, min_len=40, max_len=300, task_id_base=0):
+    """Mixed batch of similar and divergent sequence pairs."""
+    tasks = []
+    for t in range(count):
+        n = int(rng.integers(min_len, max_len))
+        ref = random_sequence(n, rng)
+        if t % 3 == 2:
+            query = random_sequence(int(rng.integers(min_len, max_len)), rng)
+        else:
+            query = mutate(
+                ref,
+                rng,
+                substitution_rate=0.06,
+                insertion_rate=0.02,
+                deletion_rate=0.02,
+            )
+        tasks.append(
+            AlignmentTask(ref=ref, query=query, scoring=scheme, task_id=task_id_base + t)
+        )
+    return tasks
+
+
+@pytest.fixture
+def task_batch(rng, small_scheme):
+    """A small mixed batch of alignment tasks."""
+    return make_task_batch(rng, small_scheme)

@@ -1,0 +1,94 @@
+"""Tests for the Table-1 analytic performance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.perf_model import (
+    DESIGN_LADDER,
+    DesignPoint,
+    PerformanceModel,
+    WorkloadSummary,
+)
+
+
+def make_workload(seed=0, tasks=64, band=100):
+    rng = np.random.default_rng(seed)
+    antidiags = rng.lognormal(mean=5.5, sigma=0.8, size=tasks)
+    return WorkloadSummary(antidiagonals=antidiags, band_width=band)
+
+
+class TestDesignPoint:
+    def test_labels(self):
+        assert DesignPoint().label == "Baseline"
+        assert DESIGN_LADDER[-1].label == "+RW+SD+SR+UB"
+
+    def test_ladder_order(self):
+        labels = [d.label for d in DESIGN_LADDER]
+        assert labels == ["Baseline", "+RW", "+RW+SD", "+RW+SD+SR", "+RW+SD+SR+UB"]
+
+    def test_validation_of_dependencies(self):
+        with pytest.raises(ValueError):
+            DesignPoint(sliced_diagonal=True).validate()
+        with pytest.raises(ValueError):
+            DesignPoint(rolling_window=True, sliced_diagonal=True, uneven_bucketing=True).validate()
+
+
+class TestModel:
+    def test_ladder_monotonically_improves(self):
+        model = PerformanceModel()
+        values = [v for _, v in model.ladder(make_workload())]
+        assert all(values[i] >= values[i + 1] for i in range(len(values) - 1))
+
+    def test_rolling_window_reduces_anti_ratio(self):
+        model = PerformanceModel()
+        wl = make_workload()
+        base = model.access_ratios(DesignPoint(), wl)
+        rw = model.access_ratios(DesignPoint(rolling_window=True), wl)
+        assert rw["anti"] < base["anti"]
+
+    def test_sliced_diagonal_trades_inter_for_term(self):
+        model = PerformanceModel()
+        wl = make_workload()
+        rw = model.access_ratios(DesignPoint(rolling_window=True), wl)
+        sd = model.access_ratios(
+            DesignPoint(rolling_window=True, sliced_diagonal=True), wl
+        )
+        assert sd["term"] < rw["term"]
+        assert sd["inter"] > rw["inter"]
+
+    def test_sliced_diagonal_reduces_cells(self):
+        model = PerformanceModel()
+        wl = make_workload()
+        base_cells = model.cells_per_task(DesignPoint(rolling_window=True), wl)
+        sd_cells = model.cells_per_task(
+            DesignPoint(rolling_window=True, sliced_diagonal=True), wl
+        )
+        assert np.all(sd_cells <= base_cells)
+
+    def test_skewed_workload_benefits_more_from_balancing(self):
+        model = PerformanceModel()
+        rng = np.random.default_rng(3)
+        balanced = WorkloadSummary(antidiagonals=np.full(64, 200.0), band_width=100)
+        skewed_values = np.full(64, 200.0)
+        skewed_values[::16] = 5000.0
+        skewed = WorkloadSummary(antidiagonals=skewed_values, band_width=100)
+        del rng
+
+        def ub_gain(workload):
+            sr = model.predict(
+                DesignPoint(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=True),
+                workload,
+            )
+            ub = model.predict(DESIGN_LADDER[-1], workload)
+            return sr / ub
+
+        assert ub_gain(skewed) > ub_gain(balanced)
+
+    def test_empty_workload(self):
+        model = PerformanceModel()
+        wl = WorkloadSummary(antidiagonals=np.empty(0), band_width=50)
+        assert model.predict(DESIGN_LADDER[-1], wl) == 0.0
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            WorkloadSummary(antidiagonals=np.array([1.0]), band_width=0)

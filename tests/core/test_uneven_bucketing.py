@@ -1,0 +1,82 @@
+"""Tests for the task-ordering / bucketing schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.uneven_bucketing import (
+    assign_tasks_to_warps,
+    original_order,
+    sorted_order,
+    uneven_bucketing_order,
+)
+
+
+class TestOrders:
+    def test_original_order(self):
+        assert original_order([5.0, 1.0, 3.0]) == [0, 1, 2]
+
+    def test_sorted_order_descending(self):
+        assert sorted_order([5.0, 1.0, 3.0]) == [0, 2, 1]
+
+    def test_sorted_order_ascending(self):
+        assert sorted_order([5.0, 1.0, 3.0], descending=False) == [1, 2, 0]
+
+
+class TestUnevenBucketing:
+    @given(
+        workloads=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=80),
+        n=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_is_a_partition(self, workloads, n):
+        buckets = uneven_bucketing_order(workloads, n)
+        flat = sorted(i for b in buckets for i in b)
+        assert flat == list(range(len(workloads)))
+        assert all(len(b) <= n for b in buckets)
+
+    def test_one_long_task_per_warp(self):
+        workloads = [1, 1, 1, 50, 1, 1, 1, 40, 1, 1, 30, 1]
+        buckets = uneven_bucketing_order(workloads, 4)
+        # The three largest tasks (indices 3, 7, 10) must lead distinct warps.
+        leaders = {b[0] for b in buckets}
+        assert {3, 7, 10} <= leaders
+
+    def test_largest_leads_first_warp(self):
+        workloads = [5, 100, 2, 3, 1, 1, 1, 1]
+        buckets = uneven_bucketing_order(workloads, 4)
+        assert buckets[0][0] == 1
+
+    def test_empty(self):
+        assert uneven_bucketing_order([], 4) == []
+
+    def test_invalid_subwarps(self):
+        with pytest.raises(ValueError):
+            uneven_bucketing_order([1.0], 0)
+
+
+class TestAssignTasksToWarps:
+    def test_flat_order_fills_subwarps(self):
+        warps = assign_tasks_to_warps(list(range(10)), subwarp_size=8)
+        assert len(warps) == 3
+        assert warps[0].subwarps[0].task_indices == [0]
+        assert warps[2].subwarps[1].task_indices == [9]
+        all_tasks = [i for w in warps for i in w.task_indices]
+        assert sorted(all_tasks) == list(range(10))
+
+    def test_bucket_assignment(self):
+        buckets = [[3, 0, 1], [2, 4]]
+        warps = assign_tasks_to_warps(buckets, subwarp_size=8)
+        assert len(warps) == 2
+        assert warps[0].subwarps[0].task_indices == [3]
+        assert warps[1].subwarps[0].task_indices == [2]
+
+    def test_bucket_overflow_wraps_within_warp(self):
+        buckets = [[0, 1, 2, 3, 4, 5]]
+        warps = assign_tasks_to_warps(buckets, subwarp_size=8)
+        assert warps[0].subwarps[0].task_indices == [0, 4]
+        assert warps[0].num_tasks == 6
+
+    def test_empty(self):
+        assert assign_tasks_to_warps([], 8) == []

@@ -1,0 +1,72 @@
+"""Tests for device specs and the cost model."""
+
+import pytest
+
+from repro.gpusim.device import (
+    A100,
+    CostModel,
+    DeviceSpec,
+    DEVICES,
+    H100_DPX,
+    RTX_2080TI,
+    RTX_A6000,
+    get_device,
+)
+
+
+class TestDeviceSpec:
+    def test_concurrent_warps(self):
+        assert RTX_A6000.concurrent_warps == RTX_A6000.num_sms * RTX_A6000.resident_warps_per_sm
+
+    def test_cycles_to_ms(self):
+        d = DeviceSpec("x", 1, 1, 1.0, 100.0)
+        assert d.cycles_to_ms(1e9) == pytest.approx(1000.0)
+        with pytest.raises(ValueError):
+            d.cycles_to_ms(-1)
+
+    def test_bandwidth_bound(self):
+        d = DeviceSpec("x", 1, 1, 1.0, 100.0)
+        assert d.bandwidth_bound_ms(100e9) == pytest.approx(1000.0)
+
+    def test_dpx_speeds_up_cells(self):
+        cost = CostModel()
+        assert H100_DPX.effective_cell_cycles(cost) < RTX_A6000.effective_cell_cycles(cost)
+
+    def test_warp_reduce_fallback(self):
+        cost = CostModel()
+        assert RTX_2080TI.reduce_cycles(cost) > RTX_A6000.reduce_cycles(cost)
+
+    def test_scale(self):
+        small = RTX_A6000.scale(1 / 84)
+        assert small.num_sms == 1
+        assert small.mem_bandwidth_gbps == pytest.approx(RTX_A6000.mem_bandwidth_gbps / 84)
+        assert small.clock_ghz == RTX_A6000.clock_ghz
+        with pytest.raises(ValueError):
+            RTX_A6000.scale(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 0, 1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", 1, 1, 1.0, 1.0, dpx_factor=0.5)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_device("a6000") is RTX_A6000
+        assert get_device("A100") is A100
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("tpu")
+
+    def test_all_devices_valid(self):
+        for device in DEVICES.values():
+            assert device.concurrent_warps > 0
+
+
+class TestCostModel:
+    def test_replace(self):
+        cost = CostModel().replace(cycles_per_cell=3.0)
+        assert cost.cycles_per_cell == 3.0
+        assert cost.global_access_cycles == CostModel().global_access_cycles

@@ -1,0 +1,53 @@
+"""Tests for FASTA I/O."""
+
+import numpy as np
+
+from repro.align.sequence import decode, random_sequence
+from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+
+
+class TestFasta:
+    def test_round_trip(self, tmp_path, rng):
+        records = [
+            FastaRecord(name=f"read{i}", sequence=random_sequence(137, rng))
+            for i in range(5)
+        ]
+        path = tmp_path / "reads.fasta"
+        write_fasta(path, records)
+        back = read_fasta(path)
+        assert len(back) == 5
+        for a, b in zip(records, back):
+            assert a.name == b.name
+            assert np.array_equal(a.sequence, b.sequence)
+
+    def test_artifact_header_style(self, tmp_path):
+        path = tmp_path / "sample.fasta"
+        path.write_text(">>> 1\nATGCN\nACGT\n>>> 2\nTCGGA\n")
+        records = read_fasta(path)
+        assert [r.name for r in records] == ["1", "2"]
+        assert decode(records[0].sequence) == "ATGCNACGT"
+
+    def test_multiline_wrapping(self, tmp_path, rng):
+        record = FastaRecord(name="long", sequence=random_sequence(250, rng))
+        path = tmp_path / "x.fasta"
+        write_fasta(path, [record], line_width=50)
+        text = path.read_text().splitlines()
+        assert len(text) == 1 + 5
+        assert all(len(line) <= 50 for line in text[1:])
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fasta"
+        path.write_text("")
+        assert read_fasta(path) == []
+
+    def test_sequence_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("ACGT\n>x\nACGT\n")
+        import pytest
+
+        with pytest.raises(ValueError):
+            read_fasta(path)
+
+    def test_record_length(self, rng):
+        rec = FastaRecord(name="r", sequence=random_sequence(42, rng))
+        assert rec.length == 42

@@ -1,0 +1,147 @@
+"""Tests for minimizer seeding, chaining and extension-task extraction."""
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import preset
+from repro.align.sequence import mutate, random_sequence
+from repro.io.seed_chain import (
+    Anchor,
+    MinimizerIndex,
+    Chain,
+    chain_anchors,
+    extension_tasks_for_read,
+    minimizers,
+)
+
+SCHEME = preset("map-ont", band_width=33, zdrop=100)
+
+
+class TestMinimizers:
+    def test_deterministic(self, rng):
+        seq = random_sequence(500, rng)
+        assert minimizers(seq) == minimizers(seq)
+
+    def test_density_controlled_by_window(self, rng):
+        seq = random_sequence(2000, rng)
+        dense = minimizers(seq, k=11, w=3)
+        sparse = minimizers(seq, k=11, w=15)
+        assert len(dense) > len(sparse) > 0
+
+    def test_positions_within_sequence(self, rng):
+        seq = random_sequence(300, rng)
+        for m in minimizers(seq, k=11, w=5):
+            assert 0 <= m.position <= seq.size - 11
+
+    def test_short_sequence(self, rng):
+        seq = random_sequence(12, rng)
+        assert len(minimizers(seq, k=11, w=5)) == 1
+
+    def test_empty_sequence(self):
+        assert minimizers(np.empty(0, dtype=np.uint8)) == []
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            minimizers(random_sequence(10, rng), k=0)
+
+
+class TestIndexAndAnchors:
+    def test_anchors_recover_true_position(self, rng):
+        reference = random_sequence(5000, rng)
+        index = MinimizerIndex(reference)
+        start = 1200
+        read = reference[start : start + 400].copy()
+        anchors = index.anchors(read)
+        assert anchors, "exact substring must produce anchors"
+        diagonals = [a.diagonal for a in anchors]
+        # The dominant diagonal equals the true start position.
+        values, counts = np.unique(diagonals, return_counts=True)
+        assert values[np.argmax(counts)] == start
+
+    def test_repetitive_minimizers_filtered(self, rng):
+        reference = np.tile(random_sequence(40, rng), 100)
+        index = MinimizerIndex(reference)
+        read = reference[:200].copy()
+        assert index.anchors(read, max_hits=4) == []
+
+
+class TestChaining:
+    def test_single_colinear_chain(self):
+        anchors = [Anchor(query_pos=q, ref_pos=q + 100) for q in range(0, 200, 20)]
+        chains = chain_anchors(anchors)
+        assert len(chains) == 1
+        assert chains[0].num_anchors == len(anchors)
+
+    def test_two_loci_give_two_chains(self):
+        near = [Anchor(query_pos=q, ref_pos=q + 100) for q in range(0, 100, 10)]
+        far = [Anchor(query_pos=q, ref_pos=q + 5000) for q in range(100, 200, 10)]
+        chains = chain_anchors(near + far)
+        assert len(chains) == 2
+
+    def test_min_anchor_filter(self):
+        anchors = [Anchor(0, 10), Anchor(5, 15)]
+        assert chain_anchors(anchors, min_anchors=3) == []
+
+    def test_empty(self):
+        assert chain_anchors([]) == []
+
+    def test_chain_spans(self):
+        anchors = [Anchor(10, 110), Anchor(50, 150), Anchor(90, 190)]
+        chain = chain_anchors(anchors)[0]
+        assert chain.query_span == (10, 90)
+        assert chain.ref_span == (110, 190)
+
+
+class TestExtensionTasks:
+    def _chain(self, offset, positions):
+        return Chain(anchors=[Anchor(q, q + offset) for q in positions])
+
+    def test_left_right_and_gap_tasks(self, rng):
+        reference = random_sequence(3000, rng)
+        query = reference[500:1500].copy()
+        chain = self._chain(500, [100, 160, 700, 900])
+        tasks = extension_tasks_for_read(reference, query, chain, SCHEME, min_gap=32)
+        # left extension (100 bp), three inter-anchor gaps above min_gap and
+        # a right extension (the ~90 bp after the last anchor).
+        assert len(tasks) == 5
+        assert tasks[0].query_len == 100
+        assert tasks[1].query_len == 160 - (100 + 11)
+        assert tasks[2].query_len == 700 - (160 + 11)
+        assert tasks[3].query_len == 900 - (700 + 11)
+        assert tasks[4].query_len == 1000 - (900 + 11)
+
+    def test_no_tasks_for_fully_anchored_read(self, rng):
+        reference = random_sequence(1000, rng)
+        query = reference[0:200].copy()
+        chain = self._chain(0, [0, 20, 40, 60, 80, 100, 120, 140, 160, 189])
+        tasks = extension_tasks_for_read(reference, query, chain, SCHEME, min_gap=32)
+        assert tasks == []
+
+    def test_max_extension_clips(self, rng):
+        reference = random_sequence(20_000, rng)
+        query = random_sequence(10_000, rng)
+        chain = self._chain(0, [50, 80, 110])
+        tasks = extension_tasks_for_read(
+            reference, query, chain, SCHEME, max_extension=256
+        )
+        assert all(t.query_len <= 256 and t.ref_len <= 256 + SCHEME.band_width for t in tasks)
+
+    def test_anchor_spacing_reduces_task_count(self, rng):
+        reference = random_sequence(5000, rng)
+        query = reference[1000:2000].copy()
+        positions = list(range(0, 950, 40))
+        chain = self._chain(1000, positions)
+        dense = extension_tasks_for_read(reference, query, chain, SCHEME, min_gap=16)
+        sparse = extension_tasks_for_read(
+            reference, query, chain, SCHEME, min_gap=16, anchor_spacing=200
+        )
+        assert len(sparse) <= len(dense)
+
+    def test_task_ids_sequential(self, rng):
+        reference = random_sequence(3000, rng)
+        query = reference[500:1500].copy()
+        chain = self._chain(500, [100, 700, 900])
+        tasks = extension_tasks_for_read(
+            reference, query, chain, SCHEME, start_task_id=10
+        )
+        assert [t.task_id for t in tasks] == list(range(10, 10 + len(tasks)))

@@ -1,0 +1,84 @@
+"""Tests for the end-to-end long-read mapper."""
+
+import numpy as np
+
+from repro.align.scoring import preset
+from repro.align.sequence import mutate, random_sequence
+from repro.io.datasets import synthetic_reference
+from repro.pipeline.mapper import LongReadMapper
+
+SCHEME = preset("map-ont", band_width=33, zdrop=120)
+
+
+def make_mapper(rng, ref_len=20_000):
+    reference = synthetic_reference(ref_len, rng)
+    return reference, LongReadMapper(reference, SCHEME)
+
+
+class TestMapping:
+    def test_clean_read_maps_to_true_position(self, rng):
+        reference, mapper = make_mapper(rng)
+        start = 4321
+        read = reference[start : start + 800].copy()
+        mapping = mapper.map_read(read, read_id=7)
+        assert mapping.mapped
+        assert abs(mapping.ref_start - start) < 50
+        assert mapping.read_id == 7
+        assert mapping.mapping_score > 0
+
+    def test_noisy_read_still_maps(self, rng):
+        reference, mapper = make_mapper(rng)
+        start = 9000
+        read = mutate(
+            reference[start : start + 900].copy(),
+            rng,
+            substitution_rate=0.05,
+            insertion_rate=0.03,
+            deletion_rate=0.03,
+        )
+        mapping = mapper.map_read(read)
+        assert mapping.mapped
+        assert abs(mapping.ref_start - start) < 200
+
+    def test_junk_read_unmapped(self, rng):
+        _, mapper = make_mapper(rng)
+        mapping = mapper.map_read(random_sequence(600, rng))
+        assert not mapping.mapped
+        assert mapping.mapping_score == 0
+
+    def test_map_reads_batch(self, rng):
+        reference, mapper = make_mapper(rng)
+        reads = [reference[k : k + 500].copy() for k in (100, 2000, 7000)]
+        mappings = mapper.map_reads(reads)
+        assert len(mappings) == 3
+        assert all(m.mapped for m in mappings)
+
+
+class TestWorkload:
+    def test_unique_task_ids(self, rng):
+        reference, mapper = make_mapper(rng)
+        reads = []
+        for k in (500, 3000, 8000, 12_000):
+            read = mutate(
+                reference[k : k + 1200].copy(),
+                rng,
+                substitution_rate=0.08,
+                insertion_rate=0.04,
+                deletion_rate=0.04,
+            )
+            reads.append(read)
+        tasks = mapper.workload(reads)
+        ids = [t.task_id for t in tasks]
+        assert len(ids) == len(set(ids))
+        assert all(t.scoring is SCHEME for t in tasks)
+
+    def test_junk_tail_produces_terminating_extension(self, rng):
+        reference, mapper = make_mapper(rng)
+        start = 6000
+        good = reference[start : start + 600].copy()
+        read = np.concatenate([good, random_sequence(800, rng)])
+        tasks = mapper.extension_tasks(read)
+        assert tasks, "the junk tail must leave a right-extension task"
+        largest = max(tasks, key=lambda t: t.query_len)
+        result = largest.profile().result
+        assert result.terminated
