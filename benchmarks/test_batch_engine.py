@@ -1,0 +1,86 @@
+"""Batch alignment engine -- scalar vs struct-of-arrays wall-clock.
+
+The Figure 8 workloads are scored twice: once task by task with the
+scalar wavefront engine (the repository's original hot path) and once
+with the batched struct-of-arrays engine sweeping whole size buckets at
+a time.  The batched path must be bit-exact *and* at least 2x faster;
+a bucket-size sweep shows where the batching gain saturates.
+"""
+
+import time
+
+import pytest
+
+from repro.pipeline.experiment import align_workload
+
+from bench_utils import REPRESENTATIVE_DATASETS, print_figure
+
+#: Bucket sizes swept by the batching study.
+BUCKET_SIZES = [8, 16, 32, 64, 128]
+
+
+def _time(fn) -> tuple[float, list]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+@pytest.mark.benchmark(group="batch_engine")
+def test_batch_engine_speedup(benchmark, representative_datasets):
+    """Batched scoring is bit-exact and >= 2x faster than per-task."""
+
+    def run():
+        rows = []
+        speedups = {}
+        for name, tasks in representative_datasets.items():
+            scalar_s, scalar_results = _time(
+                lambda: align_workload(tasks, batched=False)
+            )
+            batch_s, batch_results = _time(
+                lambda: align_workload(tasks, batched=True)
+            )
+            assert all(
+                s.same_score(b) and s.cells_computed == b.cells_computed
+                for s, b in zip(scalar_results, batch_results)
+            ), f"batched results diverged from the scalar oracle on {name}"
+            speedups[name] = scalar_s / batch_s
+            rows.append(
+                [name, len(tasks), scalar_s * 1e3, batch_s * 1e3, speedups[name]]
+            )
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        "Batch engine: scalar vs struct-of-arrays scoring",
+        ["dataset", "tasks", "scalar_ms", "batched_ms", "speedup"],
+        rows,
+    )
+    for name in REPRESENTATIVE_DATASETS:
+        assert speedups[name] >= 2.0, (
+            f"batched engine only {speedups[name]:.2f}x on {name}; "
+            "expected >= 2x over per-task alignment"
+        )
+
+
+@pytest.mark.benchmark(group="batch_engine")
+def test_batch_engine_bucket_size_sweep(benchmark, representative_datasets):
+    """Wall-clock across bucket sizes: batching gains grow then saturate."""
+    name = REPRESENTATIVE_DATASETS[0]
+    tasks = representative_datasets[name]
+
+    def run():
+        times = {}
+        for bucket_size in BUCKET_SIZES:
+            times[bucket_size], _ = _time(
+                lambda: align_workload(tasks, batch_size=bucket_size)
+            )
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        f"Batch engine bucket-size sweep ({name})",
+        ["bucket_size", "time_ms"],
+        [[b, t * 1e3] for b, t in times.items()],
+    )
+    # Large buckets must beat tiny ones: the whole point of batching.
+    assert times[BUCKET_SIZES[-1]] < times[BUCKET_SIZES[0]]

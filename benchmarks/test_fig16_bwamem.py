@@ -7,7 +7,6 @@ workloads and less imbalance) but AGAThA stays well ahead of the CPU.
 
 import pytest
 
-from repro.align.types import AlignmentTask
 from repro.baselines.aligner import BwaMemCpuAligner
 from repro.io.datasets import DATASET_REGISTRY, build_dataset
 from repro.kernels import AgathaKernel, SALoBaKernel

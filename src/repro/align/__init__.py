@@ -34,6 +34,11 @@ The modules are organised bottom-up:
     result as the oracle plus the per-anti-diagonal metadata (local maxima,
     cells per anti-diagonal, termination point) that the GPU scheduling
     simulation needs.
+``batch``
+    The struct-of-arrays batch engine: packs whole buckets of tasks into
+    padded 2-D buffers and sweeps the banded DP across all of them at
+    once (inter-task parallelism on top of the anti-diagonal kind),
+    bit-identical to the per-task engines.
 ``blocks``
     8x8 cell block decomposition of the banded score table (the smallest
     unit of work distribution on the GPU, Figure 2a).
@@ -67,6 +72,12 @@ from repro.align.termination import (
 )
 from repro.align.reference import reference_align
 from repro.align.antidiagonal import antidiagonal_align
+from repro.align.batch import (
+    DEFAULT_BUCKET_SIZE,
+    TaskBatch,
+    pack_tasks,
+    batch_align,
+)
 from repro.align.packing import pack_sequence, unpack_sequence, PackedSequence
 from repro.align.blocks import BlockGrid
 from repro.align.traceback import traceback_align, Cigar
@@ -92,6 +103,10 @@ __all__ = [
     "NoTermination",
     "reference_align",
     "antidiagonal_align",
+    "DEFAULT_BUCKET_SIZE",
+    "TaskBatch",
+    "pack_tasks",
+    "batch_align",
     "pack_sequence",
     "unpack_sequence",
     "PackedSequence",

@@ -1,0 +1,459 @@
+"""Batched struct-of-arrays alignment engine.
+
+:func:`repro.align.antidiagonal.antidiagonal_align` vectorises *within*
+one task -- all in-band cells of one anti-diagonal are computed with one
+set of NumPy operations -- but the repository still aligned every
+:class:`~repro.align.types.AlignmentTask` one at a time, paying the full
+Python dispatch overhead of the sweep loop per task.  This module adds the
+second axis of parallelism the paper's kernels exploit: *inter-task*
+parallelism.  A batch of tasks is packed into struct-of-arrays buffers
+(the GASAL2-style batch interface: padded 2-D code matrices plus per-task
+length/geometry vectors) and the banded wavefront sweep advances **all
+tasks of a bucket simultaneously**, one ``(tasks x lanes)`` matrix
+operation per anti-diagonal.
+
+Bucketing
+---------
+Tasks of wildly different sizes would waste padded lanes, so the batch is
+first split into size-homogeneous buckets with
+:func:`repro.core.uneven_bucketing.length_bucket_order` (sorted by
+anti-diagonal count, the quantity that bounds sweep length).  This is the
+SIMD mirror image of the paper's uneven bucketing: warps want *mixed*
+workloads so rejoining can balance them, a data-parallel batch wants
+*matched* workloads so padding is cheap.
+
+Exactness
+---------
+The engine performs the same ``int64`` arithmetic as the scalar sweep in
+the same order, so its results -- scores, maximum cells, termination
+anti-diagonals, work counters and per-anti-diagonal profiles -- are
+bit-identical to :func:`antidiagonal_align`.  The property tests in
+``tests/align/test_batch.py`` enforce this across random scoring schemes,
+band widths and ragged buckets.
+
+Termination is vectorised as well: every task carries its own Z-drop /
+X-drop parameters, and a task whose condition fires simply drops out of
+the active lane mask while the rest of its bucket keeps sweeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.align.banding import BandGeometry
+from repro.align.termination import NEG_INF
+from repro.align.types import AlignmentProfile, AlignmentResult, AlignmentTask
+from repro.core.uneven_bucketing import length_bucket_order
+
+__all__ = [
+    "DEFAULT_BUCKET_SIZE",
+    "TaskBatch",
+    "pack_tasks",
+    "batch_align",
+]
+
+#: Default bucket size: large enough to amortise the per-anti-diagonal
+#: Python dispatch over many tasks, small enough that the length spread
+#: inside one sorted bucket stays narrow.
+DEFAULT_BUCKET_SIZE: int = 64
+
+# Per-task termination kinds (vectorised counterpart of the
+# TerminationCondition subclasses).
+_TERM_NONE = 0
+_TERM_ZDROP = 1
+_TERM_XDROP = 2
+
+_TERMINATION_KINDS = ("zdrop", "xdrop", "none")
+
+
+@dataclass
+class TaskBatch:
+    """Struct-of-arrays packing of one bucket of alignment tasks.
+
+    All arrays share the task axis (length ``B``).  Sequences are padded
+    to the bucket maxima; per-task lengths and band diagonals delimit the
+    valid region exactly as :class:`~repro.align.banding.BandGeometry`
+    does for one task.
+    """
+
+    tasks: List[AlignmentTask]
+    ref_buf: np.ndarray  # (B, max_ref)  uint8, zero-padded
+    query_buf: np.ndarray  # (B, max_query) uint8, zero-padded
+    ref_len: np.ndarray  # (B,) int64
+    query_len: np.ndarray  # (B,) int64
+    diag_lo: np.ndarray  # (B,) int64 band diagonal range
+    diag_hi: np.ndarray  # (B,) int64
+    num_antidiagonals: np.ndarray  # (B,) int64
+    sub_stack: np.ndarray  # (S, 5, 5) int64 substitution matrices
+    scheme_idx: np.ndarray  # (B,) intp index into sub_stack
+    gap_open: np.ndarray  # (B,) int64 (alpha)
+    gap_extend: np.ndarray  # (B,) int64 (beta)
+    term_kind: np.ndarray  # (B,) uint8 (_TERM_*)
+    term_threshold: np.ndarray  # (B,) int64 (Z or X threshold)
+
+    @property
+    def size(self) -> int:
+        """Number of tasks in the batch."""
+        return len(self.tasks)
+
+    @property
+    def max_lanes(self) -> int:
+        """Widest in-band anti-diagonal of any task (the lane axis)."""
+        if self.size == 0:
+            return 0
+        band = np.where(
+            self.diag_hi >= self.diag_lo,
+            (self.diag_hi - self.diag_lo) // 2 + 1,
+            0,
+        )
+        lanes = np.minimum.reduce([self.ref_len, self.query_len, band])
+        return int(max(lanes.max(initial=0), 0))
+
+
+def _resolve_termination(task: AlignmentTask, kind: str) -> tuple[int, int]:
+    """Per-task (kind, threshold) mirroring ``make_termination``."""
+    scoring = task.scoring
+    if kind == "none" or not scoring.has_termination:
+        return _TERM_NONE, 0
+    if kind == "zdrop":
+        return _TERM_ZDROP, scoring.zdrop
+    return _TERM_XDROP, scoring.zdrop
+
+
+def pack_tasks(
+    tasks: Sequence[AlignmentTask], termination: str = "zdrop"
+) -> TaskBatch:
+    """Pack ``tasks`` into one struct-of-arrays :class:`TaskBatch`.
+
+    Parameters
+    ----------
+    tasks:
+        The tasks of one bucket (ideally of similar size; see
+        :func:`repro.core.uneven_bucketing.length_bucket_order`).
+    termination:
+        ``"zdrop"`` (the exact guided algorithm), ``"xdrop"`` (LOGAN /
+        Manymap-style) or ``"none"``.  A task whose scheme has
+        ``zdrop == 0`` gets no termination regardless, exactly like
+        :func:`repro.align.termination.make_termination`.
+    """
+    if termination not in _TERMINATION_KINDS:
+        raise ValueError(
+            f"unknown termination kind {termination!r}; "
+            f"expected one of {_TERMINATION_KINDS}"
+        )
+    tasks = list(tasks)
+    n = len(tasks)
+    max_ref = max((t.ref_len for t in tasks), default=0)
+    max_query = max((t.query_len for t in tasks), default=0)
+    ref_buf = np.zeros((n, max(max_ref, 1)), dtype=np.uint8)
+    query_buf = np.zeros((n, max(max_query, 1)), dtype=np.uint8)
+    ref_len = np.zeros(n, dtype=np.int64)
+    query_len = np.zeros(n, dtype=np.int64)
+    diag_lo = np.zeros(n, dtype=np.int64)
+    diag_hi = np.zeros(n, dtype=np.int64)
+    num_ad = np.zeros(n, dtype=np.int64)
+    gap_open = np.zeros(n, dtype=np.int64)
+    gap_extend = np.zeros(n, dtype=np.int64)
+    term_kind = np.zeros(n, dtype=np.uint8)
+    term_threshold = np.zeros(n, dtype=np.int64)
+    scheme_idx = np.zeros(n, dtype=np.intp)
+
+    schemes: dict = {}
+    sub_mats: List[np.ndarray] = []
+    for b, task in enumerate(tasks):
+        ref_buf[b, : task.ref_len] = task.ref
+        query_buf[b, : task.query_len] = task.query
+        ref_len[b] = task.ref_len
+        query_len[b] = task.query_len
+        geom = task.geometry
+        diag_lo[b] = geom.diag_lo
+        diag_hi[b] = geom.diag_hi
+        num_ad[b] = geom.num_antidiagonals
+        scoring = task.scoring
+        gap_open[b] = scoring.gap_open
+        gap_extend[b] = scoring.gap_extend
+        term_kind[b], term_threshold[b] = _resolve_termination(task, termination)
+        key = scoring
+        if key not in schemes:
+            schemes[key] = len(sub_mats)
+            sub_mats.append(scoring.substitution_matrix().astype(np.int64))
+        scheme_idx[b] = schemes[key]
+
+    sub_stack = (
+        np.stack(sub_mats) if sub_mats else np.zeros((1, 5, 5), dtype=np.int64)
+    )
+    return TaskBatch(
+        tasks=tasks,
+        ref_buf=ref_buf,
+        query_buf=query_buf,
+        ref_len=ref_len,
+        query_len=query_len,
+        diag_lo=diag_lo,
+        diag_hi=diag_hi,
+        num_antidiagonals=num_ad,
+        sub_stack=sub_stack,
+        scheme_idx=scheme_idx,
+        gap_open=gap_open,
+        gap_extend=gap_extend,
+        term_kind=term_kind,
+        term_threshold=term_threshold,
+    )
+
+
+def _gather_lanes(
+    values: np.ndarray,
+    lo: np.ndarray,
+    count: np.ndarray,
+    rows: np.ndarray,
+) -> np.ndarray:
+    """Batched version of the scalar engine's ``_gather``.
+
+    ``values`` holds each task's previous-anti-diagonal state in lanes
+    ``0 .. count[b] - 1`` (query rows ``lo[b] .. lo[b] + count[b] - 1``);
+    gather it at query rows ``rows`` (shape ``(B, W)``), yielding
+    ``NEG_INF`` outside the stored range.
+    """
+    if values.shape[1] == 0:
+        return np.full(rows.shape, NEG_INF, dtype=np.int64)
+    idx = rows - lo[:, None]
+    valid = (idx >= 0) & (idx < count[:, None])
+    gathered = np.take_along_axis(
+        values, np.clip(idx, 0, values.shape[1] - 1), axis=1
+    )
+    return np.where(valid, gathered, NEG_INF)
+
+
+def _sweep(
+    batch: TaskBatch, *, return_profiles: bool
+) -> Union[List[AlignmentResult], List[AlignmentProfile]]:
+    """Run the banded wavefront DP over every task of ``batch`` at once."""
+    n = batch.size
+    if n == 0:
+        return []
+    width = batch.max_lanes
+    max_ad = int(batch.num_antidiagonals.max(initial=0))
+
+    ref_len = batch.ref_len
+    query_len = batch.query_len
+    diag_lo = batch.diag_lo
+    diag_hi = batch.diag_hi
+    alpha = batch.gap_open
+    beta = batch.gap_extend
+    open_cost = alpha + beta
+    task_idx = np.arange(n)
+    lane = np.arange(width, dtype=np.int64)[None, :]
+
+    # Wavefront state: anti-diagonal c-1 (H/E/F) and c-2 (H only), each
+    # with its per-task row offset and valid lane count.
+    h1 = np.full((n, width), NEG_INF, dtype=np.int64)
+    e1 = np.full((n, width), NEG_INF, dtype=np.int64)
+    f1 = np.full((n, width), NEG_INF, dtype=np.int64)
+    lo1 = np.zeros(n, dtype=np.int64)
+    cnt1 = np.zeros(n, dtype=np.int64)
+    h2 = np.full((n, width), NEG_INF, dtype=np.int64)
+    lo2 = np.zeros(n, dtype=np.int64)
+    cnt2 = np.zeros(n, dtype=np.int64)
+
+    # Termination state (vectorised TerminationCondition).
+    best_score = np.full(n, NEG_INF, dtype=np.int64)
+    best_i = np.full(n, -1, dtype=np.int64)
+    best_j = np.full(n, -1, dtype=np.int64)
+    fired = np.zeros(n, dtype=bool)
+
+    # Work counters and (optional) per-anti-diagonal profile buffers.
+    ad_count = np.zeros(n, dtype=np.int64)
+    cells_count = np.zeros(n, dtype=np.int64)
+    if return_profiles:
+        maxima_buf = np.zeros((n, max_ad), dtype=np.int64)
+        cells_buf = np.zeros((n, max_ad), dtype=np.int64)
+
+    for c in range(max_ad):
+        active = ~fired & (c < batch.num_antidiagonals)
+        if not active.any():
+            break
+
+        # In-band row range per task (BandGeometry.row_range, vectorised).
+        j_lo = np.maximum.reduce(
+            [
+                np.zeros(n, dtype=np.int64),
+                c - ref_len + 1,
+                -((diag_hi - c) // 2),
+            ]
+        )
+        j_hi = np.minimum.reduce(
+            [query_len - 1, np.full(n, c, dtype=np.int64), (c - diag_lo) // 2]
+        )
+        count = np.where(active, np.maximum(j_hi - j_lo + 1, 0), 0)
+
+        rows = j_lo[:, None] + lane
+        cols = c - rows
+        lane_mask = (lane < count[:, None]) & active[:, None]
+
+        # --- vertical (E): (i-1, j) on anti-diagonal c-1, same row.
+        up_h = _gather_lanes(h1, lo1, cnt1, rows)
+        up_e = _gather_lanes(e1, lo1, cnt1, rows)
+        top_edge = lane_mask & (cols == 0)
+        edge_cost = -(alpha[:, None] + (rows + 1) * beta[:, None])
+        up_h = np.where(top_edge, edge_cost, up_h)
+        up_e = np.where(top_edge, NEG_INF, up_e)
+
+        # --- horizontal (F): (i, j-1) on anti-diagonal c-1, row j-1.
+        left_h = _gather_lanes(h1, lo1, cnt1, rows - 1)
+        left_f = _gather_lanes(f1, lo1, cnt1, rows - 1)
+        left_edge = lane_mask & (rows == 0)
+        left_cost = -(alpha[:, None] + (cols + 1) * beta[:, None])
+        left_h = np.where(left_edge, left_cost, left_h)
+        left_f = np.where(left_edge, NEG_INF, left_f)
+
+        # --- diagonal: H at (i-1, j-1) on anti-diagonal c-2, row j-1.
+        diag_h = _gather_lanes(h2, lo2, cnt2, rows - 1)
+        corner = lane_mask & (cols == 0) & (rows == 0)
+        diag_h = np.where(corner, 0, diag_h)
+        top_diag = lane_mask & (cols == 0) & (rows > 0)
+        diag_h = np.where(
+            top_diag, -(alpha[:, None] + rows * beta[:, None]), diag_h
+        )
+        left_diag = lane_mask & (rows == 0) & (cols > 0)
+        diag_h = np.where(
+            left_diag, -(alpha[:, None] + cols * beta[:, None]), diag_h
+        )
+
+        e_cur = np.maximum(up_h - open_cost[:, None], up_e - beta[:, None])
+        f_cur = np.maximum(left_h - open_cost[:, None], left_f - beta[:, None])
+        np.maximum(e_cur, NEG_INF, out=e_cur)
+        np.maximum(f_cur, NEG_INF, out=f_cur)
+
+        ref_codes = np.take_along_axis(
+            batch.ref_buf, np.clip(cols, 0, batch.ref_buf.shape[1] - 1), axis=1
+        )
+        query_codes = np.take_along_axis(
+            batch.query_buf,
+            np.clip(rows, 0, batch.query_buf.shape[1] - 1),
+            axis=1,
+        )
+        match_scores = batch.sub_stack[
+            batch.scheme_idx[:, None], ref_codes, query_codes
+        ]
+        diag_val = np.where(diag_h > NEG_INF, diag_h + match_scores, NEG_INF)
+
+        h_cur = np.maximum(np.maximum(e_cur, f_cur), diag_val)
+        np.maximum(h_cur, NEG_INF, out=h_cur)
+        h_masked = np.where(lane_mask, h_cur, NEG_INF)
+
+        # Per-task local maximum of this anti-diagonal (first-max index,
+        # like the scalar engine's argmax).
+        k = np.argmax(h_masked, axis=1)
+        local_best = h_masked[task_idx, k]
+        local_j = rows[task_idx, k]
+        local_i = c - local_j
+
+        ad_count += active
+        cells_count += count
+        if return_profiles:
+            maxima_buf[active, c] = np.where(count > 0, local_best, NEG_INF)[
+                active
+            ]
+            cells_buf[active, c] = count[active]
+
+        # --- termination update (condition checked against the global
+        # maximum of *earlier* anti-diagonals, then the local maximum is
+        # folded in -- the exact ordering of TerminationCondition.update).
+        cond = active & (local_best > NEG_INF)
+        has_best = best_score > NEG_INF
+        drop = best_score - local_best
+        diag_offset = np.abs((local_i - best_i) - (local_j - best_j))
+        z_fire = drop > batch.term_threshold + beta * diag_offset
+        x_fire = drop > batch.term_threshold
+        fire = (
+            cond
+            & has_best
+            & (
+                ((batch.term_kind == _TERM_ZDROP) & z_fire)
+                | ((batch.term_kind == _TERM_XDROP) & x_fire)
+            )
+        )
+        fired |= fire
+        improve = cond & ~fire & (local_best > best_score)
+        best_score = np.where(improve, local_best, best_score)
+        best_i = np.where(improve, local_i, best_i)
+        best_j = np.where(improve, local_j, best_j)
+
+        # --- advance the wavefront state.
+        h2, lo2, cnt2 = h1, lo1, cnt1
+        h1, e1, f1 = h_masked, e_cur, f_cur
+        lo1 = np.where(count > 0, j_lo, 0)
+        cnt1 = count
+
+    score = np.where(best_score > NEG_INF, best_score, 0)
+    results = [
+        AlignmentResult(
+            score=int(score[b]),
+            max_i=int(best_i[b]),
+            max_j=int(best_j[b]),
+            terminated=bool(fired[b]),
+            antidiagonals_processed=int(ad_count[b]),
+            cells_computed=int(cells_count[b]),
+        )
+        for b in range(n)
+    ]
+    if not return_profiles:
+        return results
+    profiles = []
+    for b, (task, result) in enumerate(zip(batch.tasks, results)):
+        processed = int(ad_count[b])
+        profiles.append(
+            AlignmentProfile(
+                result=result,
+                antidiag_maxima=maxima_buf[b, :processed].copy(),
+                cells_per_antidiag=cells_buf[b, :processed].copy(),
+                geometry=BandGeometry(
+                    task.ref_len, task.query_len, task.scoring.band_width
+                ),
+            )
+        )
+    return profiles
+
+
+def batch_align(
+    tasks: Sequence[AlignmentTask],
+    *,
+    termination: str = "zdrop",
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+    return_profiles: bool = False,
+) -> Union[List[AlignmentResult], List[AlignmentProfile]]:
+    """Align every task with the batched struct-of-arrays engine.
+
+    Tasks are bucketed by anti-diagonal count (so the padded sweep wastes
+    little work), each bucket is packed with :func:`pack_tasks` and swept
+    in one go, and the outputs are returned **in input order**.
+
+    The results are bit-identical to running
+    :func:`repro.align.antidiagonal.antidiagonal_align` per task with the
+    matching termination condition.
+
+    Parameters
+    ----------
+    tasks:
+        Any mix of sizes and scoring schemes.
+    termination:
+        ``"zdrop"`` / ``"xdrop"`` / ``"none"`` (per-task thresholds come
+        from each task's scoring scheme).
+    bucket_size:
+        Maximum tasks swept simultaneously.
+    return_profiles:
+        Return :class:`AlignmentProfile` objects (with per-anti-diagonal
+        maxima and cell counts) instead of plain results.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    workloads = [t.num_antidiagonals for t in tasks]
+    out: List = [None] * len(tasks)
+    for bucket in length_bucket_order(workloads, bucket_size):
+        batch = pack_tasks([tasks[i] for i in bucket], termination)
+        for i, item in zip(bucket, _sweep(batch, return_profiles=return_profiles)):
+            out[i] = item
+    return out

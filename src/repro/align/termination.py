@@ -25,7 +25,7 @@ reports as the alignment score.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "TerminationCondition",

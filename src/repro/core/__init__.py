@@ -39,6 +39,7 @@ from repro.core.uneven_bucketing import (
     original_order,
     sorted_order,
     uneven_bucketing_order,
+    length_bucket_order,
     assign_tasks_to_warps,
 )
 from repro.core.perf_model import PerformanceModel, WorkloadSummary, DesignPoint
@@ -55,6 +56,7 @@ __all__ = [
     "original_order",
     "sorted_order",
     "uneven_bucketing_order",
+    "length_bucket_order",
     "assign_tasks_to_warps",
     "PerformanceModel",
     "WorkloadSummary",

@@ -36,8 +36,8 @@ design points and on the direction of every per-scheme change.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

@@ -32,7 +32,7 @@ that protocol.  It is used two ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

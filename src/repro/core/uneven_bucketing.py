@@ -34,6 +34,7 @@ __all__ = [
     "original_order",
     "sorted_order",
     "uneven_bucketing_order",
+    "length_bucket_order",
     "assign_tasks_to_warps",
 ]
 
@@ -103,6 +104,41 @@ def uneven_bucketing_order(
     # warp is simply short) -- nothing to do: all short tasks are placed
     # because total slots >= n.
     return buckets
+
+
+def length_bucket_order(
+    workloads: Sequence[float], bucket_size: int
+) -> List[List[int]]:
+    """Group task indices into size-homogeneous buckets for batch padding.
+
+    This is the batching analogue of uneven bucketing: where
+    :func:`uneven_bucketing_order` balances *warps* by mixing one long task
+    with short ones, a struct-of-arrays batch engine wants the opposite --
+    tasks of *similar* workload share a bucket so that padding every task
+    to the bucket maximum (the GASAL2-style batch interface) wastes as
+    little work as possible.
+
+    Parameters
+    ----------
+    workloads:
+        Workload estimate per task (the batch engine sorts by
+        anti-diagonal count, the quantity that bounds sweep length).
+    bucket_size:
+        Maximum number of tasks per bucket.
+
+    Returns
+    -------
+    list of lists
+        Buckets of task indices, largest tasks first; every task appears
+        in exactly one bucket and buckets hold at most ``bucket_size``
+        tasks.
+    """
+    if bucket_size <= 0:
+        raise ValueError("bucket_size must be positive")
+    order = sorted_order(workloads, descending=True)
+    return [
+        order[k : k + bucket_size] for k in range(0, len(order), bucket_size)
+    ]
 
 
 def assign_tasks_to_warps(

@@ -21,13 +21,13 @@ wall-clock estimate for a particular :class:`~repro.gpusim.device.DeviceSpec`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
 
 from repro.gpusim.device import CostModel, DeviceSpec
-from repro.gpusim.trace import KernelLaunchStats, WarpWork
+from repro.gpusim.trace import KernelLaunchStats
 
 __all__ = ["ExecutionReport", "GpuExecutor", "MultiGpuExecutor"]
 

@@ -23,7 +23,7 @@ are all first-class columns in the experiment output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -16,7 +16,7 @@ amount of structure the kernel simulations need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 __all__ = ["WARP_SIZE", "split_warp", "SubwarpSlot", "WarpAssignment"]
 

@@ -24,7 +24,7 @@ constructor flags.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.align.types import AlignmentProfile, AlignmentTask
 from repro.core.sliced_diagonal import HorizontalChunkSchedule, SlicedDiagonalSchedule

@@ -47,6 +47,8 @@ class Gasal2Kernel(GuidedKernel):
         """Scores of the targeted algorithm (see :class:`SALoBaKernel`)."""
         if self.target == "mm2":
             return super().run(tasks)
+        if self.config.batched_scoring:
+            return self._batched_scores(tasks, termination="none")
         from repro.align.antidiagonal import antidiagonal_align
 
         results = []
@@ -64,7 +66,6 @@ class Gasal2Kernel(GuidedKernel):
         cost: CostModel,
     ) -> TaskWorkload:
         geometry = profile.geometry
-        band = geometry.band_width or geometry.ref_len
 
         if self.target == "mm2":
             # Row-granular termination: the thread sweeps query rows and can

@@ -54,6 +54,8 @@ class LoganKernel(GuidedKernel):
         the paper discusses is the termination heuristic, and that is what
         the comparison tests exercise.
         """
+        if self.config.batched_scoring:
+            return self._batched_scores(tasks, termination="xdrop")
         results = []
         for task in tasks:
             termination = (

@@ -58,6 +58,8 @@ class ManymapKernel(GuidedKernel):
         """Scores: exact for MM2-target, inexact X-drop-like for Diff-target."""
         if self.target == "mm2":
             return super().run(tasks)
+        if self.config.batched_scoring:
+            return self._batched_scores(tasks, termination="xdrop")
         results = []
         for task in tasks:
             termination = XDrop(xdrop=task.scoring.zdrop) if task.scoring.has_termination else None

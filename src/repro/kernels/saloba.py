@@ -60,6 +60,8 @@ class SALoBaKernel(GuidedKernel):
         """
         if self.target == "mm2":
             return super().run(tasks)
+        if self.config.batched_scoring:
+            return self._batched_scores(tasks, termination="none")
         from repro.align.antidiagonal import antidiagonal_align
 
         results = []

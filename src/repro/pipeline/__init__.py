@@ -17,6 +17,7 @@ from repro.pipeline.experiment import (
     all_dataset_names,
     scaled_hardware,
     kernel_suite,
+    align_workload,
     compare_kernels,
     speedup_table,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "all_dataset_names",
     "scaled_hardware",
     "kernel_suite",
+    "align_workload",
     "compare_kernels",
     "speedup_table",
 ]

@@ -19,18 +19,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.align.types import AlignmentTask
+from repro.align.antidiagonal import antidiagonal_align
+from repro.align.batch import DEFAULT_BUCKET_SIZE, batch_align
+from repro.align.types import AlignmentResult, AlignmentTask
 from repro.baselines.aligner import Minimap2CpuAligner
 from repro.baselines.cpu_model import CpuSpec, EPYC_16C_SSE4
 from repro.gpusim.device import CostModel, DeviceSpec, RTX_A6000
 from repro.io.datasets import DATASET_REGISTRY, DatasetSpec, build_dataset
 from repro.kernels import (
     AgathaKernel,
-    BaselineExactKernel,
     Gasal2Kernel,
     GuidedKernel,
     KernelConfig,
@@ -46,9 +47,11 @@ __all__ = [
     "dataset_tasks",
     "scaled_hardware",
     "kernel_suite",
+    "align_workload",
     "compare_kernels",
     "speedup_table",
     "geometric_mean",
+    "DEFAULT_BUCKET_SIZE",
 ]
 
 
@@ -60,10 +63,20 @@ DEFAULT_HARDWARE_SCALE: float = 1.0 / 84.0
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Knobs of an experiment run (kept small and hashable for caching)."""
+    """Knobs of an experiment run (kept small and hashable for caching).
+
+    ``batch_size`` is the bucket size of the struct-of-arrays batch
+    alignment engine; benchmarks sweep it to chart the scalar-vs-batched
+    trade-off (``benchmarks/test_batch_engine.py``).
+    """
 
     hardware_scale: float = DEFAULT_HARDWARE_SCALE
     kernel_config: KernelConfig = field(default_factory=KernelConfig)
+    batch_size: int = DEFAULT_BUCKET_SIZE
+
+    def make_kernel_config(self) -> KernelConfig:
+        """The kernel config with the experiment's batch size applied."""
+        return self.kernel_config.replace(batch_bucket_size=self.batch_size)
 
 
 def all_dataset_names() -> List[str]:
@@ -113,9 +126,16 @@ def scaled_hardware(
 # kernels of the main comparison
 # ----------------------------------------------------------------------
 def kernel_suite(
-    config: KernelConfig | None = None, target: str = "mm2"
+    config: KernelConfig | ExperimentConfig | None = None, target: str = "mm2"
 ) -> Dict[str, GuidedKernel]:
-    """The GPU kernels of Figure 8 for one target ("mm2" or "diff")."""
+    """The GPU kernels of Figure 8 for one target ("mm2" or "diff").
+
+    Accepts either a raw :class:`KernelConfig` or an
+    :class:`ExperimentConfig` (whose ``batch_size`` is applied to the
+    kernels' batched scoring path via :meth:`make_kernel_config`).
+    """
+    if isinstance(config, ExperimentConfig):
+        config = config.make_kernel_config()
     config = config or KernelConfig()
     if target == "mm2":
         return {
@@ -132,6 +152,29 @@ def kernel_suite(
             "LOGAN": LoganKernel(config),
         }
     raise ValueError("target must be 'mm2' or 'diff'")
+
+
+# ----------------------------------------------------------------------
+# workload alignment
+# ----------------------------------------------------------------------
+def align_workload(
+    tasks: Sequence[AlignmentTask],
+    *,
+    batched: bool = True,
+    batch_size: int = DEFAULT_BUCKET_SIZE,
+) -> List[AlignmentResult]:
+    """Score a whole workload, batched (default) or task by task.
+
+    Both paths produce bit-identical results; the scalar path exists as
+    the oracle for the batched engine and as a fallback.  This is the
+    function the batch-engine benchmark times under both settings.
+    """
+    if batched:
+        return batch_align(tasks, bucket_size=batch_size)
+    return [
+        antidiagonal_align(task.ref, task.query, task.scoring)
+        for task in tasks
+    ]
 
 
 # ----------------------------------------------------------------------

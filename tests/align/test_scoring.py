@@ -1,6 +1,5 @@
 """Tests for scoring schemes and presets."""
 
-import numpy as np
 import pytest
 
 from repro.align.scoring import PRESETS, ScoringScheme, preset

@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.align.scoring import ScoringScheme, preset
-from repro.align.sequence import decode, encode, mutate, random_sequence
+from repro.align.sequence import encode, mutate, random_sequence
 from repro.align.antidiagonal import antidiagonal_align
 from repro.align.traceback import Cigar, traceback_align
 

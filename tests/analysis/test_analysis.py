@@ -1,6 +1,5 @@
 """Tests for workload analysis and report formatting."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.report import format_speedup_table, format_table

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpusim.device import CostModel, DeviceSpec
+from repro.gpusim.device import DeviceSpec
 from repro.gpusim.executor import GpuExecutor, MultiGpuExecutor
 from repro.gpusim.trace import KernelLaunchStats, MemoryTraffic, SubwarpWork, TaskWorkload, WarpWork
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.align.scoring import preset
-from repro.align.sequence import mutate, random_sequence
+from repro.align.sequence import random_sequence
 from repro.io.seed_chain import (
     Anchor,
     MinimizerIndex,

@@ -7,7 +7,7 @@ exact baseline, and the full design is the fastest of the exact kernels.
 
 import pytest
 
-from repro.gpusim.device import CostModel, RTX_2080TI, RTX_A6000, H100_DPX
+from repro.gpusim.device import CostModel, RTX_2080TI, RTX_A6000
 from repro.kernels import (
     AgathaKernel,
     BaselineExactKernel,

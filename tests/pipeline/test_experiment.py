@@ -6,6 +6,7 @@ from repro.baselines.cpu_model import EPYC_16C_SSE4
 from repro.gpusim.device import RTX_A6000
 from repro.kernels import AgathaKernel, BaselineExactKernel
 from repro.pipeline.experiment import (
+    ExperimentConfig,
     all_dataset_names,
     compare_kernels,
     geometric_mean,
@@ -39,6 +40,13 @@ class TestKernelSuite:
     def test_invalid_target(self):
         with pytest.raises(ValueError):
             kernel_suite(target="x")
+
+    def test_experiment_config_batch_size_flows_to_kernels(self):
+        suite = kernel_suite(ExperimentConfig(batch_size=17))
+        assert all(
+            k.config.batched_scoring and k.config.batch_bucket_size == 17
+            for k in suite.values()
+        )
 
 
 class TestCompare:

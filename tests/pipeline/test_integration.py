@@ -9,7 +9,6 @@ score path, the cost simulation, the CPU baseline and the speedup report.
 import numpy as np
 
 from repro.align.scoring import preset
-from repro.align.sequence import mutate, random_sequence
 from repro.analysis.report import format_speedup_table
 from repro.analysis.workload import task_workload_antidiagonals
 from repro.baselines.aligner import Minimap2CpuAligner
