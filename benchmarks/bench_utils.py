@@ -1,19 +1,22 @@
-"""Shared helpers for the benchmark harness (imported by the benchmarks)."""
+"""Shared helpers for the benchmark harness (imported by the benchmarks).
+
+``repro`` is expected to be importable the normal way: either the
+package is installed (``pip install -e .``), or ``src/`` is on
+``PYTHONPATH``, or the run goes through pytest (the repository-root
+``conftest.py`` adds ``src/``).  This module deliberately does not
+mutate ``sys.path``.
+"""
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-_SRC = Path(__file__).resolve().parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
-
-from repro.analysis.report import format_table  # noqa: E402
+from repro.analysis.report import format_table
+from repro.bench.runner import REPRESENTATIVE_DATASETS
 
 #: Datasets used by the sweep-style figures (one per technology) to keep the
-#: benchmark run time reasonable; the headline figures use all nine.
-REPRESENTATIVE_DATASETS = ["HiFi-HG005", "CLR-HG002", "ONT-HG002"]
+#: benchmark run time reasonable; the headline figures use all nine.  The
+#: list itself lives in :mod:`repro.bench.runner` (the `quick` figure plan)
+#: so the benchmarks and the sharded runner cannot drift apart.
+REPRESENTATIVE_DATASETS = list(REPRESENTATIVE_DATASETS)
 
 
 def print_figure(title: str, headers, rows) -> None:

@@ -1,30 +1,27 @@
 """Pytest fixtures for the benchmark harness.
 
-Datasets are built once per session (the underlying builder is cached per
-process) and shared by every figure benchmark; hardware is the scaled
-device/CPU pair described in DESIGN.md.
+Datasets are built once per session -- served from the persistent
+workload cache (``repro.bench.cache``) and memoised per process -- and
+shared by every figure benchmark; hardware is the scaled device/CPU pair
+described in DESIGN.md.
+
+``repro`` comes from the installed package, ``PYTHONPATH`` or the
+repository-root ``conftest.py``; ``bench_utils`` is importable because
+pytest puts this directory on ``sys.path`` when collecting it (rootdir
+insertion for test packages without ``__init__.py``).
 """
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
 import pytest
 
-_HERE = Path(__file__).resolve().parent
-_SRC = _HERE.parent / "src"
-for path in (str(_SRC), str(_HERE)):
-    if path not in sys.path:
-        sys.path.insert(0, path)
-
-from repro.pipeline.experiment import (  # noqa: E402
+from repro.pipeline.experiment import (
     all_dataset_names,
     dataset_tasks,
     scaled_hardware,
 )
 
-from bench_utils import REPRESENTATIVE_DATASETS  # noqa: E402
+from bench_utils import REPRESENTATIVE_DATASETS
 
 
 @pytest.fixture(scope="session")

@@ -3,43 +3,47 @@
 Speedup over the Minimap2 CPU baseline for GASAL2, SALoBa, Manymap, LOGAN
 and AGAThA on all nine datasets, in both the Diff-Target and MM2-Target
 configurations, plus the geometric means the paper quotes in Section 5.3.
+
+Runs through the sharded experiment runner (``repro.bench``): the same
+path ``python -m repro.bench --figure fig08`` takes, so this benchmark
+exercises cell execution, aggregation and record assembly end to end
+(serially -- pytest-benchmark timing would be distorted by a pool).
 """
 
 import pytest
 
-from repro.pipeline.experiment import (
-    all_dataset_names,
-    compare_kernels,
-    geometric_mean,
-    kernel_suite,
-)
+from repro.bench.runner import run_figure
+from repro.pipeline.experiment import all_dataset_names
 
 from bench_utils import print_figure
+
+#: Row labels of the combined table, as the paper's figure annotates them.
+_SUITE_TAG = {"mm2": "MM2", "diff": "Diff"}
+
+
+def combined_table(record):
+    """Merge the record's per-suite speedup tables under labelled rows."""
+    table = {}
+    for suite_name, suite in record.suites.items():
+        tag = _SUITE_TAG[suite_name]
+        for kernel, row in suite.speedups.items():
+            table[f"{kernel} ({tag})"] = row
+    return table
 
 
 @pytest.mark.benchmark(group="fig08")
 def test_fig08_performance_comparison(benchmark, all_datasets, hardware):
     device, cpu = hardware
 
-    def run():
-        table = {}
-        for name, tasks in all_datasets.items():
-            for target in ("mm2", "diff"):
-                results = compare_kernels(
-                    tasks, kernel_suite(target=target), device=device, cpu=cpu
-                )
-                for kernel_name, summary in results.items():
-                    if kernel_name == "CPU":
-                        continue
-                    label = f"{kernel_name} ({'MM2' if target == 'mm2' else 'Diff'})"
-                    table.setdefault(label, {})[name] = summary["speedup_vs_cpu"]
-        for label, row in table.items():
-            row["GeoMean"] = geometric_mean(list(row.values()))
-        return table
-
-    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record = benchmark.pedantic(
+        lambda: run_figure("fig08", workers=1, device=device, cpu=cpu),
+        rounds=1,
+        iterations=1,
+    )
+    table = combined_table(record)
 
     datasets = all_dataset_names()
+    assert record.datasets == datasets
     headers = ["kernel"] + datasets + ["GeoMean"]
     rows = [
         [label] + [row.get(d, float("nan")) for d in datasets] + [row["GeoMean"]]
@@ -60,3 +64,9 @@ def test_fig08_performance_comparison(benchmark, all_datasets, hardware):
     assert agatha > geo["SALoBa (MM2)"] > geo["GASAL2 (MM2)"]
     assert geo["GASAL2 (MM2)"] < 1.0, "exact GASAL2 falls behind the CPU"
     assert agatha == max(geo.values()), "AGAThA is the fastest kernel overall"
+
+    # Record consistency: every cell's speedup is the CPU/GPU time ratio.
+    for suite in record.suites.values():
+        for cell in suite.cells:
+            cpu_ms = suite.cpu_time_ms[cell.dataset]
+            assert cell.speedup_vs_cpu == pytest.approx(cpu_ms / cell.time_ms)

@@ -1,42 +1,35 @@
-"""Figure 9 -- ablation study: Baseline, +RW, +SD, +SR, +UB."""
+"""Figure 9 -- ablation study: Baseline, +RW, +SD, +SR, +UB.
+
+Runs through the sharded experiment runner's ``ablation`` suite (the
+ladder lives in :data:`repro.bench.runner.ABLATION_LADDER`), the same
+cells ``python -m repro.bench --figure fig09`` shards over workers.
+"""
 
 import pytest
 
-from repro.baselines.aligner import Minimap2CpuAligner
-from repro.kernels import AgathaKernel
-from repro.pipeline.experiment import geometric_mean
+from repro.bench.runner import ABLATION_LADDER, run_figure
 
 from bench_utils import print_figure
-
-LADDER = [
-    ("Baseline", dict(rolling_window=False, sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False)),
-    ("(+) RW", dict(rolling_window=True, sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False)),
-    ("(+) SD", dict(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=False, uneven_bucketing=False)),
-    ("(+) SR", dict(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=True, uneven_bucketing=False)),
-    ("(+) UB", dict(rolling_window=True, sliced_diagonal=True, subwarp_rejoining=True, uneven_bucketing=True)),
-]
 
 
 @pytest.mark.benchmark(group="fig09")
 def test_fig09_ablation(benchmark, all_datasets, hardware):
     device, cpu = hardware
 
-    def run():
-        table = {}
-        for name, tasks in all_datasets.items():
-            cpu_ms = Minimap2CpuAligner(cpu).time_ms(tasks)
-            for label, flags in LADDER:
-                time_ms = AgathaKernel(**flags).simulate(tasks, device).time_ms
-                table.setdefault(label, {})[name] = cpu_ms / time_ms
-        for label, row in table.items():
-            row["GeoMean"] = geometric_mean(list(row.values()))
-        return table
+    record = benchmark.pedantic(
+        lambda: run_figure("fig09", workers=1, device=device, cpu=cpu),
+        rounds=1,
+        iterations=1,
+    )
+    table = record.speedup_table("ablation")
 
-    table = benchmark.pedantic(run, rounds=1, iterations=1)
-    datasets = list(all_datasets)
+    datasets = record.datasets
+    assert set(datasets) == set(all_datasets)
+    labels = [label for label, _ in ABLATION_LADDER]
+    assert list(table) == labels
     rows = [
         [label] + [table[label][d] for d in datasets] + [table[label]["GeoMean"]]
-        for label, _ in LADDER
+        for label in labels
     ]
     print_figure(
         "Figure 9: ablation speedup over Minimap2 (CPU)",
@@ -44,7 +37,7 @@ def test_fig09_ablation(benchmark, all_datasets, hardware):
         rows,
     )
 
-    geo = [table[label]["GeoMean"] for label, _ in LADDER]
+    geo = [table[label]["GeoMean"] for label in labels]
     # The ladder improves overall, RW is the largest single step (Section
     # 5.4 reports ~3x from RW alone) and the full design is the best.
     assert geo[-1] == max(geo)

@@ -2,24 +2,23 @@
 """Compare the GPU kernel designs on one evaluation dataset.
 
 Builds the ``ONT-HG002`` synthetic dataset (reads -> seeding/chaining ->
-extension tasks), verifies that every exact kernel reproduces the reference
-scores, then runs the cost simulation of each kernel and prints the
-speedups over the Minimap2 CPU baseline together with the ablation ladder
-of AGAThA's four schemes.
+extension tasks; served from the persistent workload cache on repeat
+runs), verifies that every exact kernel reproduces the reference scores,
+then drives the sharded experiment runner (``repro.bench``) over the
+MM2-Target and Diff-Target suites and the AGAThA ablation ladder, and
+prints speedups over the Minimap2 CPU baseline from the resulting
+benchmark record -- the same machine-readable record
+``python -m repro.bench`` writes to ``BENCH_<figure>.json``.
 
-Run:  python examples/kernel_comparison.py   (takes ~30 s: the dataset's
-dynamic programs are profiled once, in pure Python)
+Run:  python examples/kernel_comparison.py   (first run takes ~30 s: the
+dataset's dynamic programs are profiled once, in pure Python)
 """
 
 from repro.analysis.report import format_table
 from repro.baselines.aligner import Minimap2CpuAligner
+from repro.bench.runner import run_figure
 from repro.kernels import AgathaKernel
-from repro.pipeline.experiment import (
-    compare_kernels,
-    dataset_tasks,
-    kernel_suite,
-    scaled_hardware,
-)
+from repro.pipeline.experiment import dataset_tasks, scaled_hardware
 
 
 def main() -> None:
@@ -37,31 +36,29 @@ def main() -> None:
     assert reference_scores == agatha_scores
     print("exactness check: AGAThA scores == reference scores for every task\n")
 
-    # Main comparison (Figure 8 style).
+    # Main comparison (Figure 8 style), through the sharded runner.  One
+    # dataset means one cell per suite, so run serially; larger runs
+    # shard with workers=N (see `python -m repro.bench --help`).
+    record = run_figure("quick", datasets=[name], workers=1, device=device, cpu=cpu)
     rows = []
-    for target in ("mm2", "diff"):
-        results = compare_kernels(tasks, kernel_suite(target=target), device=device, cpu=cpu)
-        for kernel, summary in results.items():
-            if kernel == "CPU" and target == "diff":
-                continue
-            label = "CPU" if kernel == "CPU" else f"{kernel} ({'MM2' if target == 'mm2' else 'Diff'}-Target)"
-            rows.append([label, summary["time_ms"], summary["speedup_vs_cpu"]])
+    for suite_name in ("mm2", "diff"):
+        suite = record.suites[suite_name]
+        if suite_name == "mm2":
+            rows.append(["CPU", suite.cpu_time_ms[name], 1.0])
+        tag = "MM2" if suite_name == "mm2" else "Diff"
+        for cell in suite.cells:
+            rows.append([f"{cell.kernel} ({tag}-Target)", cell.time_ms, cell.speedup_vs_cpu])
     print(format_table(["kernel", "simulated time (ms)", "speedup vs CPU"], rows))
 
-    # Ablation ladder (Figure 9 style).
+    # Ablation ladder (Figure 9 style), from the runner's ablation suite.
     print("\nAGAThA ablation ladder:")
-    ladder = [
-        ("Baseline", dict(rolling_window=False, sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False)),
-        ("+RW", dict(sliced_diagonal=False, subwarp_rejoining=False, uneven_bucketing=False)),
-        ("+RW+SD", dict(subwarp_rejoining=False, uneven_bucketing=False)),
-        ("+RW+SD+SR", dict(uneven_bucketing=False)),
-        ("+RW+SD+SR+UB", {}),
+    ablation = run_figure(
+        "fig09", datasets=[name], workers=1, device=device, cpu=cpu
+    ).suites["ablation"]
+    rows = [
+        [cell.kernel, cell.time_ms, cell.speedup_vs_cpu, cell.runahead_cells]
+        for cell in ablation.cells
     ]
-    cpu_ms = Minimap2CpuAligner(cpu).time_ms(tasks)
-    rows = []
-    for label, flags in ladder:
-        stats = AgathaKernel(**flags).simulate(tasks, device)
-        rows.append([label, stats.time_ms, cpu_ms / stats.time_ms, stats.total_runahead_cells])
     print(format_table(["variant", "time (ms)", "speedup vs CPU", "run-ahead cells"], rows))
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_speedup_table"]
+__all__ = ["format_table", "format_speedup_table", "format_bench_record"]
 
 
 def format_table(
@@ -37,6 +37,25 @@ def format_table(
     ]
     for cells in rendered:
         lines.append("  ".join(cells[k].ljust(widths[k]) for k in range(len(cells))))
+    return "\n".join(lines)
+
+
+def format_bench_record(record) -> str:
+    """Render a :class:`repro.bench.records.BenchRecord` for the terminal.
+
+    One speedup table per suite, plus a one-line run summary.  Accepts the
+    record duck-typed so this module stays import-light.
+    """
+    lines: list[str] = []
+    for suite_name, suite in record.suites.items():
+        lines.append(f"=== {record.figure} / {suite_name} ===")
+        lines.append(format_speedup_table(suite.speedups))
+        lines.append("")
+    cells = sum(len(s.cells) for s in record.suites.values())
+    lines.append(
+        f"{cells} cells in {record.wall_time_s:.1f}s wall "
+        f"(workers={record.environment.get('workers')})"
+    )
     return "\n".join(lines)
 
 

@@ -1,0 +1,43 @@
+"""Sharded benchmark runner, persistent workload cache and bench records.
+
+The ``repro.bench`` subsystem turns figure reproductions into sharded,
+cacheable, machine-readable runs:
+
+* :mod:`repro.bench.cache` -- persistent on-disk cache of seeded/chained
+  alignment workloads keyed by dataset-spec fingerprint;
+* :mod:`repro.bench.runner` -- fans (dataset x suite) cells over a
+  process pool (bit-identical to the serial harness);
+* :mod:`repro.bench.records` -- versioned ``BENCH_<figure>.json`` records;
+* :mod:`repro.bench.compare` -- record diffing / regression gating;
+* :mod:`repro.bench.cli` -- the ``python -m repro.bench`` front end.
+"""
+
+from repro.bench.cache import WorkloadCache, build_workload, spec_fingerprint
+from repro.bench.compare import ComparisonReport, compare_records, format_report
+from repro.bench.records import BenchRecord, CellRecord, SuiteRecord
+from repro.bench.runner import (
+    FIGURES,
+    BenchCell,
+    run_cell,
+    run_cells,
+    run_figure,
+    run_speedup_table,
+)
+
+__all__ = [
+    "WorkloadCache",
+    "build_workload",
+    "spec_fingerprint",
+    "ComparisonReport",
+    "compare_records",
+    "format_report",
+    "BenchRecord",
+    "CellRecord",
+    "SuiteRecord",
+    "FIGURES",
+    "BenchCell",
+    "run_cell",
+    "run_cells",
+    "run_figure",
+    "run_speedup_table",
+]

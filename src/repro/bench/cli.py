@@ -1,0 +1,149 @@
+"""Command-line front end: ``python -m repro.bench``.
+
+Two modes:
+
+``python -m repro.bench [--figure fig08] [--workers N] [...]``
+    Run one named figure through the sharded runner and write its
+    machine-readable record to ``BENCH_<figure>.json`` (override with
+    ``--output``).  The speedup tables are also printed.
+
+``python -m repro.bench compare BASELINE CURRENT [--tolerance 0.2]``
+    Diff two record files; exit non-zero when the current record
+    regresses (or loses coverage) beyond the tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.compare import DEFAULT_TOLERANCE, compare_records, format_report
+from repro.bench.records import BenchRecord
+from repro.bench.runner import FIGURES, SUITES, BenchCell, run_figure
+
+__all__ = ["main"]
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Sharded figure reproduction with persistent workload caching.",
+    )
+    parser.add_argument(
+        "--figure",
+        default="fig08",
+        choices=sorted(FIGURES),
+        help="named figure plan to run (default: fig08)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard (dataset x suite) cells over (default: 1)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        metavar="NAME",
+        help="restrict to these registry datasets (default: the figure plan's)",
+    )
+    parser.add_argument(
+        "--suites",
+        nargs="+",
+        metavar="SUITE",
+        choices=list(SUITES),
+        help="restrict to these kernel suites (default: the figure plan's)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="record file to write (default: BENCH_<figure>.json)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="workload cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent workload cache (rebuild in memory)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress and table output"
+    )
+    return parser
+
+
+def _compare_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench compare",
+        description="Diff two benchmark records and fail on regressions.",
+    )
+    parser.add_argument("baseline", help="baseline record (e.g. benchmarks/baseline.json)")
+    parser.add_argument("current", help="current record (e.g. BENCH_fig08.json)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed relative geomean drop (default: {DEFAULT_TOLERANCE})",
+    )
+    return parser
+
+
+def _print_record(record: BenchRecord, out=None) -> None:
+    from repro.analysis.report import format_bench_record
+
+    print("\n" + format_bench_record(record), file=out or sys.stdout)
+
+
+def _run_main(argv: Sequence[str]) -> int:
+    args = _run_parser().parse_args(argv)
+
+    def progress(done: int, total: int, cell: BenchCell) -> None:
+        print(
+            f"[{done}/{total}] {cell.spec.name} x {cell.suite}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    record = run_figure(
+        args.figure,
+        workers=args.workers,
+        datasets=args.datasets,
+        suites=tuple(args.suites) if args.suites else None,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=None if args.quiet else progress,
+    )
+    output = args.output or record.default_filename
+    path = record.save(output)
+    if not args.quiet:
+        _print_record(record)
+    print(f"wrote {path}")
+    return 0
+
+
+def _compare_main(argv: Sequence[str]) -> int:
+    args = _compare_parser().parse_args(argv)
+    baseline = BenchRecord.load(args.baseline)
+    current = BenchRecord.load(args.current)
+    report = compare_records(baseline, current, tolerance=args.tolerance)
+    print(format_report(report, baseline_name=args.baseline, current_name=args.current))
+    return report.exit_code()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] == "compare":
+            return _compare_main(argv[1:])
+        return _run_main(argv)
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        # Post-argparse validation (unknown dataset, bad record file, ...):
+        # a clean one-line error instead of a traceback.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2

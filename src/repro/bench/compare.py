@@ -1,0 +1,155 @@
+"""Diff two benchmark records and flag regressions.
+
+``repro.bench compare baseline.json current.json`` aligns the two
+records suite by suite and kernel by kernel and compares geometric-mean
+speedups (the paper's headline aggregation) plus every per-dataset cell.
+A kernel whose current geomean falls more than ``tolerance`` below the
+baseline is a **regression**; suites/kernels/datasets present in the
+baseline but missing from the current record are reported as coverage
+gaps and fail the comparison too (silent disappearance must not read as
+"no regression").
+
+Because the kernel timings are produced by a deterministic simulation,
+identical code yields identical records; the tolerance exists to absorb
+intentional model retunes, not measurement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.bench.records import BenchRecord
+
+__all__ = ["Finding", "ComparisonReport", "compare_records", "format_report"]
+
+#: Default allowed relative geomean drop before a finding becomes a failure.
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome (regression, improvement or gap)."""
+
+    kind: str  # "regression" | "improvement" | "missing"
+    suite: str
+    kernel: str
+    metric: str
+    baseline: float = float("nan")
+    current: float = float("nan")
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf")
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        if self.kind == "missing":
+            return f"[missing]     {self.suite}/{self.kernel}: {self.metric}"
+        arrow = "regressed" if self.kind == "regression" else "improved"
+        return (
+            f"[{self.kind}]  {self.suite}/{self.kernel} {self.metric}: "
+            f"{self.baseline:.3f} -> {self.current:.3f} "
+            f"({arrow} {abs(self.ratio - 1.0) * 100.0:.1f}%)"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``compare`` found, split by severity."""
+
+    tolerance: float
+    regressions: List[Finding] = field(default_factory=list)
+    improvements: List[Finding] = field(default_factory=list)
+    missing: List[Finding] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _geomean_findings(
+    report: ComparisonReport,
+    suite: str,
+    base: Dict[str, Dict[str, float]],
+    cur: Dict[str, Dict[str, float]],
+) -> None:
+    for kernel, base_row in base.items():
+        cur_row = cur.get(kernel)
+        if cur_row is None:
+            report.missing.append(
+                Finding(kind="missing", suite=suite, kernel=kernel, metric="kernel row")
+            )
+            continue
+        for column, base_value in base_row.items():
+            metric = "GeoMean" if column == "GeoMean" else f"speedup[{column}]"
+            if column not in cur_row:
+                report.missing.append(
+                    Finding(kind="missing", suite=suite, kernel=kernel, metric=metric)
+                )
+                continue
+            current = cur_row[column]
+            report.checked += 1
+            if base_value <= 0:
+                continue
+            ratio = current / base_value
+            if ratio < 1.0 - report.tolerance:
+                report.regressions.append(
+                    Finding(
+                        kind="regression", suite=suite, kernel=kernel,
+                        metric=metric, baseline=base_value, current=current,
+                    )
+                )
+            elif ratio > 1.0 + report.tolerance:
+                report.improvements.append(
+                    Finding(
+                        kind="improvement", suite=suite, kernel=kernel,
+                        metric=metric, baseline=base_value, current=current,
+                    )
+                )
+
+
+def compare_records(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> ComparisonReport:
+    """Compare ``current`` against ``baseline`` within ``tolerance``."""
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    report = ComparisonReport(tolerance=tolerance)
+    for suite_name, base_suite in baseline.suites.items():
+        cur_suite = current.suites.get(suite_name)
+        if cur_suite is None:
+            report.missing.append(
+                Finding(kind="missing", suite=suite_name, kernel="*", metric="suite")
+            )
+            continue
+        _geomean_findings(report, suite_name, base_suite.speedups, cur_suite.speedups)
+    return report
+
+
+def format_report(
+    report: ComparisonReport, baseline_name: str = "baseline", current_name: str = "current"
+) -> str:
+    """Human-readable comparison summary."""
+    lines = [
+        f"compared {current_name} against {baseline_name} "
+        f"({report.checked} cells, tolerance {report.tolerance * 100:.0f}%)"
+    ]
+    for finding in report.missing + report.regressions + report.improvements:
+        lines.append("  " + finding.describe())
+    if report.ok:
+        extra = f", {len(report.improvements)} improvement(s)" if report.improvements else ""
+        lines.append(f"OK: no regressions{extra}")
+    else:
+        lines.append(
+            f"FAIL: {len(report.regressions)} regression(s), "
+            f"{len(report.missing)} missing entr(y/ies)"
+        )
+    return "\n".join(lines)

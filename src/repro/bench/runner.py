@@ -1,0 +1,409 @@
+"""Sharded experiment runner: fan (dataset x suite) cells over workers.
+
+A figure reproduction is embarrassingly parallel across its cells: one
+cell simulates one kernel suite over one dataset's workload, and no cell
+depends on another.  The runner materialises that structure explicitly:
+
+* a :class:`BenchCell` is a picklable work unit (dataset spec, suite
+  name, kernel/launch configuration, hardware pair, cache location);
+* :func:`run_cell` executes one cell -- loading the workload from the
+  persistent :class:`~repro.bench.cache.WorkloadCache` so workers skip
+  the seeding/chaining pre-compute -- and returns plain summaries;
+* :func:`run_cells` maps cells over a ``ProcessPoolExecutor`` (or runs
+  them serially for ``workers <= 1``) and returns results **in input
+  order**, so downstream aggregation is independent of completion order;
+* :func:`run_figure` expands a named figure plan into cells, runs them,
+  and assembles a :class:`~repro.bench.records.BenchRecord`.
+
+Determinism: every cell is a deterministic pure function of its inputs
+(the GPU timing is simulated, not measured), and aggregation follows
+input order, so a parallel run is bit-identical to a serial one -- the
+property ``tests/bench/test_runner.py`` pins.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.cpu_model import CpuSpec
+from repro.bench.cache import WorkloadCache, spec_fingerprint
+from repro.bench.records import BenchRecord, CellRecord, SuiteRecord, environment_metadata
+from repro.gpusim.device import CostModel, DeviceSpec
+from repro.io.datasets import DATASET_REGISTRY, DatasetSpec, get_dataset_spec
+from repro.kernels import AgathaKernel, GuidedKernel, KernelConfig
+
+__all__ = [
+    "ABLATION_LADDER",
+    "SUITES",
+    "FIGURES",
+    "FigurePlan",
+    "BenchCell",
+    "build_suite",
+    "resolve_specs",
+    "run_cell",
+    "run_cells",
+    "run_speedup_table",
+    "run_figure",
+]
+
+
+#: AGAThA's ablation ladder (Figure 9): each step enables one more scheme.
+ABLATION_LADDER: Tuple[Tuple[str, Dict[str, bool]], ...] = (
+    ("Baseline", dict(rolling_window=False, sliced_diagonal=False,
+                      subwarp_rejoining=False, uneven_bucketing=False)),
+    ("(+) RW", dict(rolling_window=True, sliced_diagonal=False,
+                    subwarp_rejoining=False, uneven_bucketing=False)),
+    ("(+) SD", dict(rolling_window=True, sliced_diagonal=True,
+                    subwarp_rejoining=False, uneven_bucketing=False)),
+    ("(+) SR", dict(rolling_window=True, sliced_diagonal=True,
+                    subwarp_rejoining=True, uneven_bucketing=False)),
+    ("(+) UB", dict(rolling_window=True, sliced_diagonal=True,
+                    subwarp_rejoining=True, uneven_bucketing=True)),
+)
+
+#: Kernel suites the runner can build inside a worker (names must stay
+#: picklable strings; the kernels themselves are constructed per process).
+SUITES: Tuple[str, ...] = ("mm2", "diff", "ablation")
+
+#: The one-per-technology subset used by quick runs (mirrors
+#: ``benchmarks/bench_utils.REPRESENTATIVE_DATASETS``).
+REPRESENTATIVE_DATASETS: Tuple[str, ...] = ("HiFi-HG005", "CLR-HG002", "ONT-HG002")
+
+
+@dataclass(frozen=True)
+class FigurePlan:
+    """Datasets and suites of one named figure reproduction."""
+
+    name: str
+    suites: Tuple[str, ...]
+    datasets: Tuple[str, ...]
+    description: str = ""
+
+
+def _all_names() -> Tuple[str, ...]:
+    return tuple(DATASET_REGISTRY)
+
+
+#: Named figure plans understood by ``python -m repro.bench --figure``.
+FIGURES: Dict[str, FigurePlan] = {
+    "fig08": FigurePlan(
+        name="fig08",
+        suites=("mm2", "diff"),
+        datasets=_all_names(),
+        description="Main comparison: all kernels, both targets, nine datasets",
+    ),
+    "fig09": FigurePlan(
+        name="fig09",
+        suites=("ablation",),
+        datasets=_all_names(),
+        description="AGAThA ablation ladder over the nine datasets",
+    ),
+    "quick": FigurePlan(
+        name="quick",
+        suites=("mm2", "diff"),
+        datasets=REPRESENTATIVE_DATASETS,
+        description="Both targets over one dataset per technology",
+    ),
+}
+
+
+def build_suite(
+    suite: str, config: Optional[KernelConfig] = None
+) -> Mapping[str, GuidedKernel]:
+    """Construct the kernels of one named suite (inside the worker)."""
+    # Imported lazily: experiment imports this module's callers and the
+    # bench package must stay importable before experiment finishes loading.
+    from repro.pipeline.experiment import kernel_suite
+
+    if suite in ("mm2", "diff"):
+        return kernel_suite(config, target=suite)
+    if suite == "ablation":
+        return {
+            label: AgathaKernel(config, **flags) for label, flags in ABLATION_LADDER
+        }
+    raise ValueError(f"unknown suite {suite!r}; available: {list(SUITES)}")
+
+
+def resolve_specs(datasets: Sequence[str | DatasetSpec]) -> List[DatasetSpec]:
+    """Accept registry names or explicit specs; return concrete specs."""
+    return [
+        entry if isinstance(entry, DatasetSpec) else get_dataset_spec(entry)
+        for entry in datasets
+    ]
+
+
+# ----------------------------------------------------------------------
+# cells
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchCell:
+    """One unit of sharded work: (dataset spec, kernel suite).
+
+    Everything in a cell is picklable, so cells travel to pool workers
+    as-is; kernels are rebuilt inside the worker from ``suite``/``config``.
+    ``cache_dir=None`` means "resolve from the environment", which lets
+    registry datasets share the in-process ``dataset_tasks`` cache.
+    """
+
+    spec: DatasetSpec
+    suite: str
+    config: Optional[KernelConfig] = None
+    device: Optional[DeviceSpec] = None
+    cpu: Optional[CpuSpec] = None
+    cost: Optional[CostModel] = None
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+
+
+#: In-process memo of non-registry workloads, keyed by (cache root,
+#: enabled, spec fingerprint).  Serial runs visit each dataset once per
+#: suite; reusing the same task objects keeps their lazily-computed
+#: alignment profiles, so the dynamic program runs once per task no
+#: matter how many suites share the dataset.  Pool workers each hold
+#: their own copy (results are identical either way -- cells are pure).
+_TASKS_MEMO: Dict[tuple, tuple] = {}
+
+
+def _cell_tasks(cell: BenchCell):
+    """The cell's workload, via the persistent cache.
+
+    Registry datasets with default cache settings go through
+    :func:`repro.pipeline.experiment.dataset_tasks`, which layers an
+    in-process ``lru_cache`` (with its memoised alignment profiles) on
+    top of the same on-disk cache; everything else is memoised here the
+    same way -- serial runs and benchmark fixtures then never profile a
+    task twice.
+    """
+    from repro.pipeline.experiment import dataset_tasks
+
+    registry_spec = DATASET_REGISTRY.get(cell.spec.name)
+    if cell.cache_dir is None and cell.use_cache and registry_spec == cell.spec:
+        return dataset_tasks(cell.spec.name)
+    cache = WorkloadCache(cell.cache_dir, enabled=cell.use_cache)
+    key = (str(cache.root), cell.use_cache, spec_fingerprint(cell.spec))
+    if key not in _TASKS_MEMO:
+        _TASKS_MEMO[key] = cache.tasks(cell.spec)
+    return _TASKS_MEMO[key]
+
+
+def run_cell(cell: BenchCell) -> Dict[str, dict]:
+    """Execute one cell: simulate its suite over its dataset's workload.
+
+    Returns the :func:`repro.pipeline.experiment.compare_kernels` mapping
+    (``kernel -> summary`` with the CPU anchor under ``"CPU"``) as plain
+    dicts, safe to pickle back from a worker process.
+    """
+    from repro.pipeline.experiment import compare_kernels
+
+    tasks = _cell_tasks(cell)
+    kernels = build_suite(cell.suite, cell.config)
+    return compare_kernels(
+        tasks, kernels, device=cell.device, cpu=cell.cpu, cost=cell.cost
+    )
+
+
+def run_cells(
+    cells: Sequence[BenchCell],
+    workers: int = 1,
+    progress: Optional[Callable[[int, int, BenchCell], None]] = None,
+) -> List[Dict[str, dict]]:
+    """Run every cell, sharded over ``workers`` processes.
+
+    Results are returned in **input order** regardless of completion
+    order.  ``workers <= 1`` runs serially in-process (no pool, easier
+    debugging, shares the ``dataset_tasks`` memo).  A worker exception
+    propagates to the caller unchanged.
+    """
+    total = len(cells)
+    results: List[Dict[str, dict]] = []
+    if workers <= 1 or total <= 1:
+        for index, cell in enumerate(cells):
+            results.append(run_cell(cell))
+            if progress is not None:
+                progress(index + 1, total, cell)
+        return results
+    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+        futures = [pool.submit(run_cell, cell) for cell in cells]
+        done = 0
+        for index, future in enumerate(futures):
+            results.append(future.result())
+            done += 1
+            if progress is not None:
+                progress(done, total, cells[index])
+    return results
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def _merge_speedups(
+    specs: Sequence[DatasetSpec], results: Sequence[Dict[str, dict]]
+) -> Dict[str, Dict[str, float]]:
+    """Fold per-cell summaries into a ``speedup_table``-shaped mapping.
+
+    Iterates datasets in input order so row construction (and therefore
+    the float summation order inside the geometric mean) matches the
+    serial harness exactly.
+    """
+    from repro.pipeline.experiment import geometric_mean
+
+    table: Dict[str, Dict[str, float]] = {}
+    for spec, summaries in zip(specs, results):
+        for kernel_name, summary in summaries.items():
+            if kernel_name == "CPU":
+                continue
+            table.setdefault(kernel_name, {})[spec.name] = summary["speedup_vs_cpu"]
+    for row in table.values():
+        row["GeoMean"] = geometric_mean(list(row.values()))
+    return table
+
+
+def run_speedup_table(
+    datasets: Sequence[str | DatasetSpec],
+    *,
+    suite: Optional[str] = None,
+    kernel_factory: Optional[Callable[[], Mapping[str, GuidedKernel]]] = None,
+    workers: int = 1,
+    config: Optional[KernelConfig] = None,
+    device: Optional[DeviceSpec] = None,
+    cpu: Optional[CpuSpec] = None,
+    cost: Optional[CostModel] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """Per-dataset speedups over the CPU anchor, sharded over workers.
+
+    Exactly one of ``suite`` and ``kernel_factory`` must be given.  A
+    named suite shards freely (kernels are rebuilt in each worker); an
+    arbitrary ``kernel_factory`` cannot travel to worker processes, so it
+    implies serial execution (``workers`` must be 1) -- this is the
+    compatibility path :func:`repro.pipeline.experiment.speedup_table`
+    uses.
+    """
+    if (suite is None) == (kernel_factory is None):
+        raise ValueError("pass exactly one of suite= or kernel_factory=")
+    specs = resolve_specs(datasets)
+    if kernel_factory is not None:
+        if workers > 1:
+            raise ValueError(
+                "kernel_factory cannot be sharded over processes; "
+                "use a named suite or workers=1"
+            )
+        from repro.pipeline.experiment import compare_kernels
+
+        results = []
+        for spec in specs:
+            cell = BenchCell(
+                spec=spec, suite="custom", device=device, cpu=cpu, cost=cost,
+                cache_dir=cache_dir, use_cache=use_cache,
+            )
+            tasks = _cell_tasks(cell)
+            results.append(
+                compare_kernels(tasks, kernel_factory(), device=device, cpu=cpu, cost=cost)
+            )
+        return _merge_speedups(specs, results)
+    cells = [
+        BenchCell(
+            spec=spec, suite=suite, config=config, device=device, cpu=cpu,
+            cost=cost, cache_dir=cache_dir, use_cache=use_cache,
+        )
+        for spec in specs
+    ]
+    results = run_cells(cells, workers=workers)
+    return _merge_speedups(specs, results)
+
+
+def _suite_record(
+    suite: str, specs: Sequence[DatasetSpec], results: Sequence[Dict[str, dict]]
+) -> SuiteRecord:
+    record = SuiteRecord(suite=suite)
+    for spec, summaries in zip(specs, results):
+        for kernel_name, summary in summaries.items():
+            if kernel_name == "CPU":
+                record.cpu_time_ms[spec.name] = summary["time_ms"]
+                continue
+            record.cells.append(
+                CellRecord(
+                    dataset=spec.name,
+                    kernel=kernel_name,
+                    time_ms=summary["time_ms"],
+                    speedup_vs_cpu=summary["speedup_vs_cpu"],
+                    cells=int(summary.get("cells", 0)),
+                    runahead_cells=int(summary.get("runahead_cells", 0)),
+                    global_words=float(summary.get("global_words", 0.0)),
+                    imbalance=float(summary.get("imbalance", 0.0)),
+                )
+            )
+    record.speedups = _merge_speedups(specs, results)
+    return record
+
+
+def run_figure(
+    figure: str,
+    *,
+    workers: int = 1,
+    datasets: Optional[Sequence[str | DatasetSpec]] = None,
+    suites: Optional[Sequence[str]] = None,
+    config: Optional[KernelConfig] = None,
+    device: Optional[DeviceSpec] = None,
+    cpu: Optional[CpuSpec] = None,
+    cost: Optional[CostModel] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    progress: Optional[Callable[[int, int, BenchCell], None]] = None,
+) -> BenchRecord:
+    """Reproduce one named figure, sharded, and return its record.
+
+    ``datasets`` / ``suites`` override the figure plan (useful for quick
+    subsets); cells from *all* suites are pooled into one shard queue so
+    workers stay busy across suite boundaries.
+    """
+    if figure not in FIGURES:
+        raise KeyError(f"unknown figure {figure!r}; available: {sorted(FIGURES)}")
+    plan = FIGURES[figure]
+    specs = resolve_specs(datasets if datasets is not None else plan.datasets)
+    suite_names = tuple(suites if suites is not None else plan.suites)
+    for suite in suite_names:
+        if suite not in SUITES:
+            raise ValueError(f"unknown suite {suite!r}; available: {list(SUITES)}")
+    cells = [
+        BenchCell(
+            spec=spec, suite=suite, config=config, device=device, cpu=cpu,
+            cost=cost, cache_dir=cache_dir, use_cache=use_cache,
+        )
+        for suite in suite_names
+        for spec in specs
+    ]
+    start = time.perf_counter()
+    results = run_cells(cells, workers=workers, progress=progress)
+    wall = time.perf_counter() - start
+    # Resolve the hardware pair for the metadata block only; the cells keep
+    # the caller's values (None means "scaled defaults") so results stay
+    # bit-identical to the serial harness.
+    from repro.pipeline.experiment import scaled_hardware
+
+    meta_device, meta_cpu = device, cpu
+    if meta_device is None or meta_cpu is None:
+        scaled_device, scaled_cpu = scaled_hardware()
+        meta_device = meta_device or scaled_device
+        meta_cpu = meta_cpu or scaled_cpu
+    record = BenchRecord(
+        figure=figure,
+        datasets=[spec.name for spec in specs],
+        environment=environment_metadata(
+            workers=workers,
+            suites=list(suite_names),
+            device=meta_device.name,
+            cpu=meta_cpu.name,
+            cache_dir=str(WorkloadCache(cache_dir).root) if use_cache else None,
+        ),
+        wall_time_s=wall,
+    )
+    per_suite = len(specs)
+    for index, suite in enumerate(suite_names):
+        chunk = results[index * per_suite : (index + 1) * per_suite]
+        record.suites[suite] = _suite_record(suite, specs, chunk)
+    return record

@@ -43,6 +43,7 @@ __all__ = [
     "SimulatedRead",
     "DatasetSpec",
     "DATASET_REGISTRY",
+    "get_dataset_spec",
     "synthetic_reference",
     "simulate_reads",
     "build_dataset",
@@ -220,6 +221,16 @@ def _registry() -> Dict[str, DatasetSpec]:
 
 #: The nine named datasets of the evaluation (Section 5.1), scaled down.
 DATASET_REGISTRY: Dict[str, DatasetSpec] = _registry()
+
+
+def get_dataset_spec(name: str) -> DatasetSpec:
+    """Look up a registry dataset by name with a helpful error."""
+    try:
+        return DATASET_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {list(DATASET_REGISTRY)}"
+        ) from exc
 
 
 # ----------------------------------------------------------------------

@@ -29,7 +29,7 @@ from repro.align.types import AlignmentResult, AlignmentTask
 from repro.baselines.aligner import Minimap2CpuAligner
 from repro.baselines.cpu_model import CpuSpec, EPYC_16C_SSE4
 from repro.gpusim.device import CostModel, DeviceSpec, RTX_A6000
-from repro.io.datasets import DATASET_REGISTRY, DatasetSpec, build_dataset
+from repro.io.datasets import DATASET_REGISTRY, DatasetSpec
 from repro.kernels import (
     AgathaKernel,
     Gasal2Kernel,
@@ -39,8 +39,6 @@ from repro.kernels import (
     ManymapKernel,
     SALoBaKernel,
 )
-from repro.pipeline.mapper import LongReadMapper
-
 __all__ = [
     "ExperimentConfig",
     "all_dataset_names",
@@ -89,17 +87,22 @@ def all_dataset_names() -> List[str]:
 # ----------------------------------------------------------------------
 @lru_cache(maxsize=None)
 def dataset_tasks(name: str) -> tuple[AlignmentTask, ...]:
-    """Extension tasks of one named dataset (cached per process).
+    """Extension tasks of one named dataset.
 
-    The cache also retains each task's alignment profile (computed lazily
-    by the kernels), so the dynamic program runs once per task no matter
-    how many kernels and figures reuse the dataset.
+    Two cache layers stack here.  The seeding/chaining pre-compute is
+    served by the persistent :class:`repro.bench.cache.WorkloadCache`
+    (``$REPRO_CACHE_DIR`` / ``~/.cache/repro``), shared across processes
+    and runs; on top of it, the per-process ``lru_cache`` retains the
+    materialised task objects together with each task's alignment
+    profile (computed lazily by the kernels), so the dynamic program
+    runs once per task no matter how many kernels and figures reuse the
+    dataset within one process.
     """
+    # Imported lazily: repro.bench.runner imports this module at load time.
+    from repro.bench.cache import WorkloadCache
+
     spec: DatasetSpec = DATASET_REGISTRY[name]
-    reference, reads = build_dataset(spec)
-    mapper = LongReadMapper(reference, spec.scoring)
-    tasks = mapper.workload([r.sequence for r in reads])
-    return tuple(tasks)
+    return WorkloadCache().tasks(spec)
 
 
 # ----------------------------------------------------------------------
@@ -236,17 +239,20 @@ def speedup_table(
     ``kernel_factory`` is called once per dataset so kernels do not carry
     state across datasets.  The returned mapping is
     ``kernel_name -> {dataset_name: speedup, ..., "GeoMean": g}``.
+
+    This is the serial compatibility wrapper around
+    :func:`repro.bench.runner.run_speedup_table`; the factory keeps the
+    run in-process.  To shard over worker processes, call the runner
+    directly with a named suite (``suite="mm2"`` etc.) and ``workers=N``
+    -- the output is bit-identical.
     """
-    table: Dict[str, Dict[str, float]] = {}
-    for name in dataset_names:
-        tasks = dataset_tasks(name)
-        results = compare_kernels(
-            tasks, kernel_factory(), device=device, cpu=cpu, cost=cost
-        )
-        for kernel_name, summary in results.items():
-            if kernel_name == "CPU":
-                continue
-            table.setdefault(kernel_name, {})[name] = summary["speedup_vs_cpu"]
-    for kernel_name, row in table.items():
-        row["GeoMean"] = geometric_mean(list(row.values()))
-    return table
+    # Imported lazily: repro.bench.runner imports this module at load time.
+    from repro.bench.runner import run_speedup_table
+
+    return run_speedup_table(
+        list(dataset_names),
+        kernel_factory=kernel_factory,
+        device=device,
+        cpu=cpu,
+        cost=cost,
+    )

@@ -1,0 +1,27 @@
+"""Shared fixtures for the repro.bench test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cache import WorkloadCache
+
+from tiny_workloads import make_spec
+
+
+@pytest.fixture
+def tiny_spec():
+    return make_spec()
+
+
+@pytest.fixture
+def tiny_specs() -> list:
+    return [
+        make_spec("tiny-A", seed=7, technology="HiFi"),
+        make_spec("tiny-B", seed=9, technology="ONT"),
+    ]
+
+
+@pytest.fixture
+def tmp_cache(tmp_path) -> WorkloadCache:
+    return WorkloadCache(tmp_path / "cache", enabled=True)

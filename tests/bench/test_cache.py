@@ -1,0 +1,160 @@
+"""Persistent workload cache: roundtrips, invalidation, recovery."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.bench.cache as cache_mod
+from repro.bench.cache import (
+    CACHE_SCHEMA_VERSION,
+    WorkloadCache,
+    build_workload,
+    cache_enabled,
+    default_cache_dir,
+    spec_fingerprint,
+)
+
+from tiny_workloads import make_spec
+
+
+class TestFingerprint:
+    def test_stable(self, tiny_spec):
+        assert spec_fingerprint(tiny_spec) == spec_fingerprint(make_spec())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(seed=8),
+            dict(num_reads=5),
+            dict(reference_length=4096),
+            dict(technology="ONT"),
+            dict(name="tiny-renamed"),
+        ],
+    )
+    def test_spec_field_changes_invalidate(self, tiny_spec, change):
+        changed = make_spec(**{**dict(name="tiny-A", seed=7), **change})
+        assert spec_fingerprint(changed) != spec_fingerprint(tiny_spec)
+
+    def test_scoring_change_invalidates(self, tiny_spec):
+        changed = make_spec(scoring=tiny_spec.scoring.replace(band_width=32))
+        assert spec_fingerprint(changed) != spec_fingerprint(tiny_spec)
+        cache = WorkloadCache("unused")
+        assert cache.path_for(changed) != cache.path_for(tiny_spec)
+
+    def test_version_salt(self, tiny_spec, monkeypatch):
+        before = spec_fingerprint(tiny_spec)
+        monkeypatch.setattr(cache_mod, "WORKLOAD_VERSION", cache_mod.WORKLOAD_VERSION + 1)
+        assert spec_fingerprint(tiny_spec) != before
+
+
+class TestRoundtrip:
+    def test_build_store_load(self, tiny_spec, tmp_cache):
+        built = tmp_cache.tasks(tiny_spec)
+        assert tmp_cache.misses == 1 and tmp_cache.hits == 0
+        assert len(built) > 0
+        loaded = tmp_cache.load(tiny_spec)
+        assert loaded is not None and len(loaded) == len(built)
+        for a, b in zip(built, loaded):
+            np.testing.assert_array_equal(a.ref, b.ref)
+            np.testing.assert_array_equal(a.query, b.query)
+            assert a.scoring == b.scoring
+            assert a.task_id == b.task_id
+
+    def test_loaded_tasks_have_no_profiles(self, tiny_spec, tmp_cache):
+        built = tmp_cache.tasks(tiny_spec)
+        built[0].profile()  # compute and memoise one profile
+        tmp_cache.store(tiny_spec, built)
+        loaded = tmp_cache.load(tiny_spec)
+        assert all(task._profile is None for task in loaded)
+
+    def test_warm_cache_skips_workload_construction(self, tiny_spec, tmp_path, monkeypatch):
+        calls = {"n": 0}
+        real_build = build_workload
+
+        def counting_build(spec):
+            calls["n"] += 1
+            return real_build(spec)
+
+        monkeypatch.setattr(cache_mod, "build_workload", counting_build)
+        first = WorkloadCache(tmp_path / "c").tasks(tiny_spec)
+        assert calls["n"] == 1
+        # A brand-new cache instance (fresh process in real life) hits disk.
+        again = WorkloadCache(tmp_path / "c").tasks(tiny_spec)
+        assert calls["n"] == 1, "warm cache must skip the seeding/chaining build"
+        assert len(again) == len(first)
+
+    def test_changed_spec_rebuilds(self, tiny_spec, tmp_cache):
+        tmp_cache.tasks(tiny_spec)
+        changed = make_spec(scoring=tiny_spec.scoring.replace(zdrop=40))
+        tmp_cache.tasks(changed)
+        assert tmp_cache.misses == 2
+        assert len(tmp_cache.entries()) == 2
+
+
+class TestRecovery:
+    def test_corrupt_file_is_rebuilt(self, tiny_spec, tmp_cache):
+        tmp_cache.tasks(tiny_spec)
+        path = tmp_cache.path_for(tiny_spec)
+        path.write_bytes(b"\x80garbage that is not a pickle")
+        tasks = tmp_cache.tasks(tiny_spec)
+        assert tmp_cache.misses == 2
+        assert len(tasks) > 0
+        # The entry was re-written and is valid again.
+        assert tmp_cache.load(tiny_spec) is not None
+
+    def test_truncated_file_is_rebuilt(self, tiny_spec, tmp_cache):
+        tmp_cache.tasks(tiny_spec)
+        path = tmp_cache.path_for(tiny_spec)
+        path.write_bytes(path.read_bytes()[: 10])
+        assert tmp_cache.load(tiny_spec) is None
+        assert not path.exists(), "corrupt entries are removed"
+
+    def test_schema_version_mismatch_is_rebuilt(self, tiny_spec, tmp_cache):
+        tmp_cache.tasks(tiny_spec)
+        path = tmp_cache.path_for(tiny_spec)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        assert tmp_cache.load(tiny_spec) is None
+
+    def test_fingerprint_mismatch_is_rebuilt(self, tiny_spec, tmp_cache):
+        tmp_cache.tasks(tiny_spec)
+        path = tmp_cache.path_for(tiny_spec)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["fingerprint"] = "0" * 20
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        assert tmp_cache.load(tiny_spec) is None
+
+
+class TestConfiguration:
+    def test_disabled_cache_never_touches_disk(self, tiny_spec, tmp_path):
+        cache = WorkloadCache(tmp_path / "c", enabled=False)
+        tasks = cache.tasks(tiny_spec)
+        assert len(tasks) > 0
+        assert not (tmp_path / "c").exists()
+
+    def test_repro_no_cache_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert not cache_enabled()
+        assert not WorkloadCache("anywhere").enabled
+        monkeypatch.delenv("REPRO_NO_CACHE")
+        assert cache_enabled()
+
+    def test_default_dir_resolution(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "explicit"))
+        assert default_cache_dir() == tmp_path / "explicit"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
+        monkeypatch.delenv("XDG_CACHE_HOME")
+        assert default_cache_dir() == cache_mod.Path.home() / ".cache" / "repro"
+
+    def test_clear(self, tiny_spec, tmp_cache):
+        tmp_cache.tasks(tiny_spec)
+        assert tmp_cache.clear() == 1
+        assert tmp_cache.entries() == []

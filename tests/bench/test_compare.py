@@ -1,0 +1,87 @@
+"""Record comparison / regression gating."""
+
+import pytest
+
+from repro.bench.compare import compare_records, format_report
+from repro.bench.records import BenchRecord, SuiteRecord
+
+
+def record_with(speedups, suite="mm2", figure="fig08") -> BenchRecord:
+    return BenchRecord(
+        figure=figure,
+        datasets=sorted({d for row in speedups.values() for d in row if d != "GeoMean"}),
+        suites={suite: SuiteRecord(suite=suite, speedups=speedups)},
+    )
+
+
+BASE = {
+    "AGAThA": {"ds1": 20.0, "ds2": 18.0, "GeoMean": 18.97},
+    "GASAL2": {"ds1": 0.8, "ds2": 0.9, "GeoMean": 0.85},
+}
+
+
+class TestCompare:
+    def test_identical_records_pass(self):
+        report = compare_records(record_with(BASE), record_with(BASE))
+        assert report.ok and report.exit_code() == 0
+        assert report.checked == 6
+        assert "no regressions" in format_report(report)
+
+    def test_within_tolerance_passes(self):
+        current = {
+            "AGAThA": {"ds1": 17.0, "ds2": 16.0, "GeoMean": 16.49},
+            "GASAL2": {"ds1": 0.8, "ds2": 0.9, "GeoMean": 0.85},
+        }
+        report = compare_records(record_with(BASE), record_with(current), tolerance=0.20)
+        assert report.ok
+
+    def test_geomean_regression_fails(self):
+        current = {
+            "AGAThA": {"ds1": 10.0, "ds2": 9.0, "GeoMean": 9.49},
+            "GASAL2": {"ds1": 0.8, "ds2": 0.9, "GeoMean": 0.85},
+        }
+        report = compare_records(record_with(BASE), record_with(current), tolerance=0.20)
+        assert not report.ok and report.exit_code() == 1
+        kinds = {(f.kernel, f.metric) for f in report.regressions}
+        assert ("AGAThA", "GeoMean") in kinds
+        assert "FAIL" in format_report(report)
+
+    def test_improvement_does_not_fail(self):
+        current = {
+            "AGAThA": {"ds1": 40.0, "ds2": 36.0, "GeoMean": 37.95},
+            "GASAL2": {"ds1": 0.8, "ds2": 0.9, "GeoMean": 0.85},
+        }
+        report = compare_records(record_with(BASE), record_with(current))
+        assert report.ok
+        assert report.improvements
+
+    def test_missing_kernel_fails(self):
+        current = {"AGAThA": BASE["AGAThA"]}
+        report = compare_records(record_with(BASE), record_with(current))
+        assert not report.ok
+        assert any(f.kernel == "GASAL2" for f in report.missing)
+
+    def test_missing_dataset_column_fails(self):
+        current = {
+            "AGAThA": {"ds1": 20.0, "GeoMean": 20.0},
+            "GASAL2": {"ds1": 0.8, "ds2": 0.9, "GeoMean": 0.85},
+        }
+        report = compare_records(record_with(BASE), record_with(current))
+        assert not report.ok
+        assert any("ds2" in f.metric for f in report.missing)
+
+    def test_missing_suite_fails(self):
+        report = compare_records(
+            record_with(BASE, suite="mm2"), record_with(BASE, suite="diff")
+        )
+        assert not report.ok
+        assert any(f.metric == "suite" for f in report.missing)
+
+    def test_extra_current_kernels_are_ignored(self):
+        current = dict(BASE)
+        current["NewKernel"] = {"ds1": 1.0, "ds2": 1.0, "GeoMean": 1.0}
+        assert compare_records(record_with(BASE), record_with(current)).ok
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_records(record_with(BASE), record_with(BASE), tolerance=1.5)

@@ -1,0 +1,96 @@
+"""BenchRecord serialisation and schema versioning."""
+
+import json
+
+import pytest
+
+from repro.bench.records import (
+    RECORD_SCHEMA_VERSION,
+    BenchRecord,
+    CellRecord,
+    SuiteRecord,
+    environment_metadata,
+)
+
+
+def sample_record() -> BenchRecord:
+    suite = SuiteRecord(
+        suite="mm2",
+        cpu_time_ms={"ds1": 10.0, "ds2": 12.5},
+        cells=[
+            CellRecord("ds1", "AGAThA", time_ms=0.5, speedup_vs_cpu=20.0, cells=100),
+            CellRecord("ds2", "AGAThA", time_ms=0.625, speedup_vs_cpu=20.0, cells=120),
+            CellRecord("ds1", "GASAL2", time_ms=12.5, speedup_vs_cpu=0.8),
+        ],
+        speedups={
+            "AGAThA": {"ds1": 20.0, "ds2": 20.0, "GeoMean": 20.0},
+            "GASAL2": {"ds1": 0.8, "ds2": 0.9, "GeoMean": 0.8485281374238570},
+        },
+    )
+    return BenchRecord(
+        figure="fig08",
+        datasets=["ds1", "ds2"],
+        suites={"mm2": suite},
+        environment=environment_metadata(workers=4),
+        wall_time_s=1.25,
+    )
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tmp_path):
+        record = sample_record()
+        path = record.save(tmp_path / "BENCH_fig08.json")
+        loaded = BenchRecord.load(path)
+        assert loaded.to_dict() == record.to_dict()
+        # Bit-exactness survives JSON (repr-roundtrip floats).
+        assert loaded.suites["mm2"].speedups["GASAL2"]["GeoMean"] == (
+            record.suites["mm2"].speedups["GASAL2"]["GeoMean"]
+        )
+
+    def test_default_filename(self):
+        assert sample_record().default_filename == "BENCH_fig08.json"
+
+    def test_json_is_plain_data(self):
+        payload = json.loads(sample_record().to_json())
+        assert payload["schema_version"] == RECORD_SCHEMA_VERSION
+        assert payload["suites"]["mm2"]["cells"][0]["kernel"] == "AGAThA"
+
+    def test_cell_record_ignores_unknown_keys(self):
+        cell = CellRecord.from_dict(
+            {"dataset": "d", "kernel": "k", "time_ms": 1.0,
+             "speedup_vs_cpu": 2.0, "future_field": "ignored"}
+        )
+        assert cell.kernel == "k"
+
+
+class TestSchema:
+    def test_rejects_missing_version(self):
+        data = sample_record().to_dict()
+        del data["schema_version"]
+        with pytest.raises(ValueError, match="schema_version"):
+            BenchRecord.from_dict(data)
+
+    def test_rejects_newer_version(self):
+        data = sample_record().to_dict()
+        data["schema_version"] = RECORD_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than supported"):
+            BenchRecord.from_dict(data)
+
+
+class TestAccessors:
+    def test_speedup_table(self):
+        record = sample_record()
+        assert record.speedup_table("mm2")["AGAThA"]["GeoMean"] == 20.0
+
+    def test_geomeans(self):
+        assert sample_record().suites["mm2"].geomeans()["AGAThA"] == 20.0
+
+    def test_cell_lookup(self):
+        suite = sample_record().suites["mm2"]
+        assert suite.cell("ds2", "AGAThA").time_ms == 0.625
+        assert suite.cell("ds2", "GASAL2") is None
+
+    def test_environment_metadata(self):
+        meta = environment_metadata(workers=3)
+        assert meta["workers"] == 3
+        assert "python" in meta and "numpy" in meta
