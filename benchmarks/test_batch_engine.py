@@ -11,7 +11,7 @@ import time
 
 import pytest
 
-from repro.pipeline.experiment import align_workload
+from repro.api import align_tasks
 
 from bench_utils import REPRESENTATIVE_DATASETS, print_figure
 
@@ -34,10 +34,10 @@ def test_batch_engine_speedup(benchmark, representative_datasets):
         speedups = {}
         for name, tasks in representative_datasets.items():
             scalar_s, scalar_results = _time(
-                lambda: align_workload(tasks, batched=False)
+                lambda: align_tasks(tasks, engine="scalar")
             )
             batch_s, batch_results = _time(
-                lambda: align_workload(tasks, batched=True)
+                lambda: align_tasks(tasks, engine="batch")
             )
             assert all(
                 s.same_score(b) and s.cells_computed == b.cells_computed
@@ -72,7 +72,7 @@ def test_batch_engine_bucket_size_sweep(benchmark, representative_datasets):
         times = {}
         for bucket_size in BUCKET_SIZES:
             times[bucket_size], _ = _time(
-                lambda: align_workload(tasks, batch_size=bucket_size)
+                lambda: align_tasks(tasks, batch_size=bucket_size)
             )
         return times
 

@@ -2,9 +2,13 @@
 """Applying the kernels to BWA-MEM-style guided alignment (Section 5.9).
 
 BWA-MEM uses a much smaller band width and termination threshold than
-Minimap2.  This example maps a small synthetic short-ish-read batch under
-those parameters and compares AGAThA against the SALoBa-style baseline and
-the CPU, illustrating that the schemes transfer to other guided aligners.
+Minimap2.  This example registers a custom kernel suite with the
+``repro.api`` suite registry (SALoBa's MM2-target variant vs AGAThA),
+builds a small synthetic short-ish-read workload under BWA-MEM
+parameters, and compares the suite against the BWA-MEM CPU model through
+one :class:`repro.api.Session` -- illustrating both that the schemes
+transfer to other guided aligners and that new suites plug into the
+public API without touching the harness.
 
 Run:  python examples/bwamem_alignment.py
 """
@@ -13,11 +17,20 @@ import numpy as np
 
 from repro.align import preset
 from repro.analysis.report import format_table
+from repro.api import Session, SuiteEntry, get_kernel, register_suite
 from repro.baselines.aligner import BwaMemCpuAligner
 from repro.io.datasets import TECHNOLOGY_PROFILES, simulate_reads, synthetic_reference
-from repro.kernels import AgathaKernel, SALoBaKernel
-from repro.pipeline.experiment import scaled_hardware
-from repro.pipeline.mapper import LongReadMapper
+
+# A custom suite: once registered it is addressable by name everywhere
+# (Session(suite=...), python -m repro.bench --suites, figure records).
+register_suite(
+    "bwamem-demo",
+    [
+        SuiteEntry.make("SALoBa (MM2-Target)", "SALoBa", target="mm2"),
+        SuiteEntry.make("AGAThA", "AGAThA"),
+    ],
+    description="Section 5.9: the exact kernels under BWA-MEM parameters",
+)
 
 
 def main() -> None:
@@ -27,26 +40,25 @@ def main() -> None:
 
     reference = synthetic_reference(30_000, rng)
     reads = simulate_reads(reference, TECHNOLOGY_PROFILES["HiFi"], 28, rng)
-    mapper = LongReadMapper(reference, scoring, anchor_spacing=100)
-    tasks = mapper.workload([r.sequence for r in reads])
+    mapping_session = Session(
+        reference=reference, scoring=scoring, mapper_options={"anchor_spacing": 100}
+    )
+    tasks = mapping_session.read_workload([r.sequence for r in reads])
     print(f"extension tasks under BWA-MEM parameters: {len(tasks)}")
 
-    device, cpu = scaled_hardware()
-    cpu_aligner = BwaMemCpuAligner(cpu)
-    cpu_ms = cpu_aligner.time_ms(tasks)
+    # Compare the custom suite against the BWA-MEM CPU model.
+    session = Session(tasks=tasks, suite="bwamem-demo")
+    _, cpu = session.hardware()
+    comparison = session.compare(cpu_aligner=BwaMemCpuAligner(cpu))
 
-    rows = [["BWA-MEM (CPU)", cpu_ms, 1.0]]
-    for label, kernel in (
-        ("SALoBa (MM2-Target)", SALoBaKernel(target="mm2")),
-        ("AGAThA", AgathaKernel()),
-    ):
-        stats = kernel.simulate(tasks, device)
-        rows.append([label, stats.time_ms, cpu_ms / stats.time_ms])
+    rows = [[comparison.cpu.kernel, comparison.cpu.time_ms, 1.0]]
+    for label, summary in comparison.kernels.items():
+        rows.append([label, summary.time_ms, summary.speedup_vs_cpu])
     print(format_table(["aligner", "simulated time (ms)", "speedup vs CPU"], rows))
 
     # The exactness guarantee holds for the BWA-MEM parameters too.
-    reference_scores = [r.score for r in cpu_aligner.run(tasks)]
-    agatha_scores = [r.score for r in AgathaKernel().run(tasks)]
+    reference_scores = [r.score for r in BwaMemCpuAligner(cpu).run(tasks)]
+    agatha_scores = [r.score for r in get_kernel("AGAThA")().run(tasks)]
     assert reference_scores == agatha_scores
     print("\nexactness check passed: AGAThA == BWA-MEM reference scores")
 

@@ -1,13 +1,12 @@
 #!/usr/bin/env python3
 """Compare the GPU kernel designs on one evaluation dataset.
 
-Builds the ``ONT-HG002`` synthetic dataset (reads -> seeding/chaining ->
-extension tasks; served from the persistent workload cache on repeat
-runs), verifies that every exact kernel reproduces the reference scores,
-then drives the sharded experiment runner (``repro.bench``) over the
-MM2-Target and Diff-Target suites and the AGAThA ablation ladder, and
-prints speedups over the Minimap2 CPU baseline from the resulting
-benchmark record -- the same machine-readable record
+Configures a dataset :class:`repro.api.Session` for ``ONT-HG002``
+(reads -> seeding/chaining -> extension tasks; served from the
+persistent workload cache on repeat runs), verifies that every exact
+kernel reproduces the reference scores, then reproduces the MM2-Target
+and Diff-Target suites and the AGAThA ablation ladder through the
+sharded experiment runner -- the same machine-readable record
 ``python -m repro.bench`` writes to ``BENCH_<figure>.json``.
 
 Run:  python examples/kernel_comparison.py   (first run takes ~30 s: the
@@ -15,31 +14,30 @@ dataset's dynamic programs are profiled once, in pure Python)
 """
 
 from repro.analysis.report import format_table
+from repro.api import Session, get_kernel
 from repro.baselines.aligner import Minimap2CpuAligner
-from repro.bench.runner import run_figure
-from repro.kernels import AgathaKernel
-from repro.pipeline.experiment import dataset_tasks, scaled_hardware
 
 
 def main() -> None:
     name = "ONT-HG002"
     print(f"Building dataset {name} (synthetic GIAB-like reads + pre-compute) ...")
-    tasks = dataset_tasks(name)
+    session = Session(dataset=name)
+    tasks = session.workload()
     print(f"  {len(tasks)} extension-alignment tasks")
 
-    device, cpu = scaled_hardware()
+    device, cpu = session.hardware()
     print(f"hardware: {device.name} vs {cpu.name} (scaled pair, see DESIGN.md)\n")
 
     # Exactness: AGAThA reproduces the reference scores bit for bit.
     reference_scores = [r.score for r in Minimap2CpuAligner(cpu).run(tasks)]
-    agatha_scores = [r.score for r in AgathaKernel().run(tasks)]
+    agatha_scores = [r.score for r in get_kernel("AGAThA")().run(tasks)]
     assert reference_scores == agatha_scores
     print("exactness check: AGAThA scores == reference scores for every task\n")
 
-    # Main comparison (Figure 8 style), through the sharded runner.  One
-    # dataset means one cell per suite, so run serially; larger runs
-    # shard with workers=N (see `python -m repro.bench --help`).
-    record = run_figure("quick", datasets=[name], workers=1, device=device, cpu=cpu)
+    # Main comparison (Figure 8 style), through the sharded runner.  The
+    # dataset session restricts the figure grid to its own dataset; larger
+    # runs shard with workers=N (see `python -m repro.bench --help`).
+    record = session.run_figure("quick")
     rows = []
     for suite_name in ("mm2", "diff"):
         suite = record.suites[suite_name]
@@ -52,9 +50,7 @@ def main() -> None:
 
     # Ablation ladder (Figure 9 style), from the runner's ablation suite.
     print("\nAGAThA ablation ladder:")
-    ablation = run_figure(
-        "fig09", datasets=[name], workers=1, device=device, cpu=cpu
-    ).suites["ablation"]
+    ablation = session.run_figure("fig09").suites["ablation"]
     rows = [
         [cell.kernel, cell.time_ms, cell.speedup_vs_cpu, cell.runahead_cells]
         for cell in ablation.cells

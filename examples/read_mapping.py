@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Long-read mapping with the full pipeline.
+"""Long-read mapping with the full pipeline, via ``repro.api``.
 
-Builds a synthetic reference and an ONT-like read set, maps the reads with
-the minimizer/chaining/extension pipeline (the same pre-compute that
-produces the alignment workload of the paper's evaluation) and reports the
-mapping accuracy and the extension-task workload distribution.
+Builds a synthetic reference and an ONT-like read set, configures a
+mapping :class:`repro.api.Session` (reference + scoring), streams the
+mappings as they are produced (``map_reads_iter``), and reports the
+mapping accuracy and the extension-task workload distribution the GPU
+kernels would receive.
 
 Run:  python examples/read_mapping.py
 """
@@ -13,8 +14,8 @@ import numpy as np
 
 from repro.align import preset
 from repro.analysis import long_task_fraction, task_workload_antidiagonals, workload_histogram
+from repro.api import Session
 from repro.io.datasets import TECHNOLOGY_PROFILES, simulate_reads, synthetic_reference
-from repro.pipeline.mapper import LongReadMapper
 
 
 def main() -> None:
@@ -24,21 +25,19 @@ def main() -> None:
     print("Building a 40 kb synthetic reference and 32 ONT-like reads ...")
     reference = synthetic_reference(40_000, rng)
     reads = simulate_reads(reference, TECHNOLOGY_PROFILES["ONT"], 32, rng)
+    sequences = [r.sequence for r in reads]
 
-    mapper = LongReadMapper(reference, scoring)
-    mappings = mapper.map_reads([r.sequence for r in reads])
+    # A mapping session: the reference and scoring are configured once,
+    # extension tasks run through the session's alignment engine.
+    session = Session(reference=reference, scoring=scoring)
 
-    mapped = [m for m in mappings if m.mapped]
-    correct = 0
-    for read, mapping in zip(reads, mappings):
-        if mapping.mapped and read.true_start >= 0:
-            if abs(mapping.ref_start - read.true_start) < 250:
-                correct += 1
-    print(f"mapped reads      : {len(mapped)}/{len(reads)}")
-    print(f"correct positions : {correct}/{sum(1 for r in reads if r.true_start >= 0)}")
-
-    print("\nPer-read mappings (first 10):")
-    for read, mapping in list(zip(reads, mappings))[:10]:
+    # Stream mappings as they are produced (one read at a time) ...
+    print("\nPer-read mappings (streamed, first 10):")
+    mappings = []
+    for read, mapping in zip(reads, session.map_reads_iter(sequences)):
+        mappings.append(mapping)
+        if mapping.read_id >= 10:
+            continue
         status = "unmapped"
         if mapping.mapped:
             status = (
@@ -48,8 +47,26 @@ def main() -> None:
         flags = "junk" if read.is_junk else ("chimeric" if read.is_chimeric else "")
         print(f"  read {read.read_id:>2} len={read.length:>5} {flags:<9} {status}")
 
+    # ... or map a batch in one call for the typed outcome (shown on a
+    # small subset -- the full set was just mapped by the stream above).
+    outcome = session.map_reads(sequences[:4])
+    assert [m.mapping_score for m in outcome] == [
+        m.mapping_score for m in mappings[:4]
+    ]
+    print(f"\nbatch variant     : {outcome.num_mapped}/{len(outcome)} of the "
+          "first 4 reads mapped (identical to the streamed results)")
+
+    correct = 0
+    mapped = [m for m in mappings if m.mapped]
+    for read, mapping in zip(reads, mappings):
+        if mapping.mapped and read.true_start >= 0:
+            if abs(mapping.ref_start - read.true_start) < 250:
+                correct += 1
+    print(f"mapped reads      : {len(mapped)}/{len(reads)}")
+    print(f"correct positions : {correct}/{sum(1 for r in reads if r.true_start >= 0)}")
+
     # The extension-task workload the GPU kernels would receive.
-    tasks = mapper.workload([r.sequence for r in reads])
+    tasks = session.read_workload(sequences)
     workloads = task_workload_antidiagonals(tasks)
     hist = workload_histogram(workloads, num_bins=8)
     print(f"\nExtension tasks: {len(tasks)}")

@@ -8,8 +8,15 @@ schemes, the baselines they are compared against, and the evaluation
 workloads -- on top of a deterministic GPU cost-model simulator so the
 paper's experiments can be reproduced on a machine without a GPU.
 
+The public surface lives in :mod:`repro.api` and is lazily re-exported
+here (``repro.Session`` works without importing the heavy subpackages at
+``import repro`` time).
+
 Subpackages
 -----------
+``repro.api``
+    The public surface: the :class:`~repro.api.Session` façade, typed
+    result objects, and the engine / kernel / suite registries.
 ``repro.align``
     The guided alignment substrate (scoring, banding, Z-drop/X-drop,
     exact scalar oracle, vectorised wavefront engine, packing, blocks).
@@ -30,10 +37,89 @@ Subpackages
 ``repro.pipeline``
     The end-to-end long-read mapper and the experiment harness used by
     the benchmarks.
+``repro.bench``
+    Sharded benchmark runner, persistent workload cache, BENCH records.
 ``repro.analysis``
     Workload-distribution analysis and plain-text report rendering.
 """
 
+from importlib import import_module
+from typing import TYPE_CHECKING, Any, List
+
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+#: Lazily re-exported public names: attribute -> defining module.
+_EXPORTS = {
+    # façade + typed results
+    "Session": "repro.api",
+    "AlignmentOutcome": "repro.api",
+    "MappingOutcome": "repro.api",
+    "SimulationOutcome": "repro.api",
+    "ComparisonOutcome": "repro.api",
+    "KernelSummary": "repro.api",
+    "CpuSummary": "repro.api",
+    # registries
+    "Registry": "repro.api",
+    "RegistryError": "repro.api",
+    "register_engine": "repro.api",
+    "register_kernel": "repro.api",
+    "register_suite": "repro.api",
+    "get_engine": "repro.api",
+    "get_kernel": "repro.api",
+    "get_suite": "repro.api",
+    "engine_names": "repro.api",
+    "kernel_names": "repro.api",
+    "suite_names": "repro.api",
+    "build_suite": "repro.api",
+    "SuiteEntry": "repro.api",
+    "SuiteSpec": "repro.api",
+    # workflow helpers
+    "align_tasks": "repro.api",
+    "compare_suite": "repro.api",
+    # records (the run_figure return type)
+    "BenchRecord": "repro.bench.records",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
+    from repro.api import (  # noqa: F401
+        AlignmentOutcome,
+        ComparisonOutcome,
+        CpuSummary,
+        KernelSummary,
+        MappingOutcome,
+        Registry,
+        RegistryError,
+        Session,
+        SimulationOutcome,
+        SuiteEntry,
+        SuiteSpec,
+        align_tasks,
+        build_suite,
+        compare_suite,
+        engine_names,
+        get_engine,
+        get_kernel,
+        get_suite,
+        kernel_names,
+        register_engine,
+        register_kernel,
+        register_suite,
+        suite_names,
+    )
+    from repro.bench.records import BenchRecord  # noqa: F401
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: later lookups skip __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,96 @@
+"""``repro.api`` -- the public surface of the reproduction.
+
+One import gives the session façade, the typed result objects and the
+three extension registries::
+
+    from repro.api import Session
+
+    session = Session(dataset="ONT-HG002")      # engine="batch", suite="mm2"
+    outcome = session.align()                   # AlignmentOutcome
+    table = session.compare()                   # ComparisonOutcome
+    record = session.run_figure("quick")        # BenchRecord
+
+Extension points (see DESIGN.md, "The public API layer"):
+
+* :func:`register_engine` -- new workload-scoring backends, usable via
+  ``Session(engine=...)`` and ``LongReadMapper(engine=...)``;
+* :func:`register_kernel` -- new simulated GPU kernels;
+* :func:`register_suite` -- new kernel line-ups, which automatically
+  appear in ``python -m repro.bench --suites`` and in figure records.
+
+Everything exported here is covered by the public-API snapshot test
+(``tests/api/test_public_surface.py``) and the deprecation policy: old
+entry points keep working for one release as shims that emit a single
+``DeprecationWarning`` and delegate to this package.
+"""
+
+from repro.api.registry import Registry, RegistryError
+from repro.api.engines import (
+    ENGINES,
+    AlignmentEngine,
+    align_tasks,
+    engine_names,
+    get_engine,
+    register_engine,
+)
+from repro.api.suites import (
+    ABLATION_LADDER,
+    KERNELS,
+    SUITES,
+    KernelFactory,
+    SuiteEntry,
+    SuiteSpec,
+    build_suite,
+    get_kernel,
+    get_suite,
+    kernel_names,
+    register_kernel,
+    register_suite,
+    suite_names,
+)
+from repro.api.results import (
+    AlignmentOutcome,
+    ComparisonOutcome,
+    CpuSummary,
+    KernelSummary,
+    MappingOutcome,
+    SimulationOutcome,
+)
+from repro.api.compare import compare_suite
+from repro.api.session import Session
+
+__all__ = [
+    # façade
+    "Session",
+    # registries
+    "Registry",
+    "RegistryError",
+    "ENGINES",
+    "KERNELS",
+    "SUITES",
+    "AlignmentEngine",
+    "KernelFactory",
+    "SuiteEntry",
+    "SuiteSpec",
+    "ABLATION_LADDER",
+    "register_engine",
+    "get_engine",
+    "engine_names",
+    "register_kernel",
+    "get_kernel",
+    "kernel_names",
+    "register_suite",
+    "get_suite",
+    "suite_names",
+    "build_suite",
+    # workflows
+    "align_tasks",
+    "compare_suite",
+    # typed results
+    "AlignmentOutcome",
+    "MappingOutcome",
+    "SimulationOutcome",
+    "ComparisonOutcome",
+    "KernelSummary",
+    "CpuSummary",
+]

@@ -1,0 +1,105 @@
+"""The alignment-engine registry: name-keyed workload scoring backends.
+
+An *engine* scores a whole workload of :class:`AlignmentTask` objects and
+returns one :class:`AlignmentResult` per task, in task order.  The two
+built-in engines are the ones the repository has always had:
+
+``"scalar"``
+    One banded wavefront sweep per task (the oracle path).
+``"batch"``
+    The struct-of-arrays batch engine (:mod:`repro.align.batch`):
+    buckets of tasks swept simultaneously, bit-identical to the scalar
+    engine and several times faster (DESIGN.md).
+
+New backends register under a name and immediately become usable by
+:class:`repro.api.Session`, :class:`repro.pipeline.mapper.LongReadMapper`
+and anything else that resolves engines by name::
+
+    @register_engine("my-backend")
+    def my_backend(tasks, *, batch_size=DEFAULT_BUCKET_SIZE):
+        return [...]
+
+This replaces the old boolean plumbing (``align_workload(batched=...)``,
+``LongReadMapper(batched=...)``) that could only ever express two
+backends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.align.antidiagonal import antidiagonal_align
+from repro.align.batch import DEFAULT_BUCKET_SIZE, batch_align
+from repro.align.types import AlignmentResult, AlignmentTask
+from repro.api.registry import Registry
+
+__all__ = [
+    "AlignmentEngine",
+    "ENGINES",
+    "register_engine",
+    "get_engine",
+    "engine_names",
+    "align_tasks",
+]
+
+#: Signature every engine implements: ``(tasks, *, batch_size) -> results``.
+AlignmentEngine = Callable[..., List[AlignmentResult]]
+
+#: The engine registry.  ``"scalar"`` and ``"batch"`` are built in.
+ENGINES: Registry[AlignmentEngine] = Registry("engine")
+
+
+def register_engine(
+    name: str,
+    engine: Optional[AlignmentEngine] = None,
+    *,
+    replace: bool = False,
+) -> Callable[[AlignmentEngine], AlignmentEngine] | AlignmentEngine:
+    """Register an alignment engine (decorator or direct form)."""
+    return ENGINES.register(name, engine, replace=replace)
+
+
+def get_engine(name: str) -> AlignmentEngine:
+    """Resolve an engine by name (KeyError lists the registered names)."""
+    return ENGINES.get(name)
+
+
+def engine_names() -> Tuple[str, ...]:
+    """Registered engine names in registration order."""
+    return ENGINES.names()
+
+
+# ----------------------------------------------------------------------
+# built-in engines
+# ----------------------------------------------------------------------
+@register_engine("scalar")
+def scalar_engine(
+    tasks: Sequence[AlignmentTask], *, batch_size: int = DEFAULT_BUCKET_SIZE
+) -> List[AlignmentResult]:
+    """One wavefront sweep per task; ``batch_size`` is accepted and ignored."""
+    return [
+        antidiagonal_align(task.ref, task.query, task.scoring) for task in tasks
+    ]
+
+
+@register_engine("batch")
+def batch_engine(
+    tasks: Sequence[AlignmentTask], *, batch_size: int = DEFAULT_BUCKET_SIZE
+) -> List[AlignmentResult]:
+    """Struct-of-arrays batch engine; bit-identical to ``"scalar"``."""
+    return batch_align(tasks, bucket_size=batch_size)
+
+
+# ----------------------------------------------------------------------
+def align_tasks(
+    tasks: Sequence[AlignmentTask],
+    *,
+    engine: str = "batch",
+    batch_size: int = DEFAULT_BUCKET_SIZE,
+) -> List[AlignmentResult]:
+    """Score a workload with a named engine.
+
+    The core implementation behind :meth:`repro.api.Session.align` and
+    the deprecated ``repro.pipeline.experiment.align_workload``.
+    """
+    return get_engine(engine)(tasks, batch_size=batch_size)

@@ -1,0 +1,375 @@
+"""The :class:`Session` façade: one configured object, every workflow.
+
+A session binds together everything the scattered entry points used to
+take as per-call arguments -- the workload source (a registry dataset, an
+explicit :class:`DatasetSpec`, raw tasks, or a reference for read
+mapping), the alignment engine, the kernel suite, the hardware pair and
+the cache policy -- and exposes the project's workflows as methods:
+
+=================  ====================================================
+``align()``        score the workload with the configured engine
+``map_reads()``    map reads end to end (``map_reads_iter`` streams)
+``simulate()``     simulate one named kernel's launch
+``compare()``      simulate a whole suite against the CPU anchor
+``run_figure()``   reproduce a named figure through the sharded runner
+=================  ====================================================
+
+Every method returns a typed result object (:mod:`repro.api.results`) or
+a :class:`repro.bench.records.BenchRecord`; the underlying arithmetic is
+bit-identical to the legacy entry points (the golden-equivalence suite
+pins this), because every method delegates to the same shared
+implementations the deprecation shims use.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    TYPE_CHECKING,
+)
+
+import numpy as np
+
+from repro.align.batch import DEFAULT_BUCKET_SIZE
+from repro.align.scoring import ScoringScheme
+from repro.align.types import AlignmentTask
+from repro.api.compare import compare_suite
+from repro.api.engines import align_tasks, get_engine
+from repro.api.results import (
+    AlignmentOutcome,
+    ComparisonOutcome,
+    MappingOutcome,
+    SimulationOutcome,
+)
+from repro.api.suites import build_suite, get_kernel, get_suite
+from repro.baselines.aligner import CpuAligner
+from repro.baselines.cpu_model import CpuSpec
+from repro.gpusim.device import CostModel, DeviceSpec
+from repro.io.datasets import DATASET_REGISTRY, DatasetSpec, get_dataset_spec
+from repro.kernels import GuidedKernel, KernelConfig
+from repro.pipeline.experiment import DEFAULT_HARDWARE_SCALE, scaled_hardware
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.records import BenchRecord
+    from repro.pipeline.mapper import LongReadMapper, ReadMapping
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A configured alignment session (the public entry point).
+
+    Parameters
+    ----------
+    dataset:
+        A registry dataset name (``"ONT-HG002"``, ...) or an explicit
+        :class:`DatasetSpec`; the workload is its seeded/chained
+        extension tasks, served through the persistent workload cache.
+    tasks:
+        Raw alignment tasks, for callers that build their own workload.
+    reference, scoring:
+        An encoded reference plus a scoring scheme, for read-mapping
+        sessions (:meth:`map_reads`).  ``scoring`` may also accompany
+        ``dataset`` / ``tasks`` sessions but is ignored there.
+    engine:
+        Alignment engine name from the engine registry (``"batch"`` by
+        default, ``"scalar"`` for the oracle path).
+    suite:
+        Default kernel suite for :meth:`compare` (``"mm2"`` by default).
+    batch_size:
+        Bucket size of the batch engine, also applied to the kernels'
+        batched scoring path.  ``None`` (the default) inherits
+        ``kernel_config.batch_bucket_size`` when a kernel config is
+        given, else the engine default.
+    kernel_config:
+        Base :class:`KernelConfig` for kernels built by this session.
+    hardware_scale, device, cpu, cost:
+        Hardware overrides; by default the scaled pair of DESIGN.md.
+    cache_dir, use_cache:
+        Workload-cache policy for dataset sessions.
+    mapper_options:
+        Extra keyword arguments for the underlying
+        :class:`~repro.pipeline.mapper.LongReadMapper` (``k``, ``w``,
+        ``min_anchors``, ``anchor_spacing``, ...).
+
+    Exactly one of ``dataset``, ``tasks`` and ``reference`` must be
+    given; engine and suite names are validated eagerly so a typo fails
+    at construction, not mid-run.
+    """
+
+    def __init__(
+        self,
+        dataset: Optional[Union[str, DatasetSpec]] = None,
+        tasks: Optional[Sequence[AlignmentTask]] = None,
+        reference: Optional[np.ndarray] = None,
+        scoring: Optional[ScoringScheme] = None,
+        *,
+        engine: str = "batch",
+        suite: str = "mm2",
+        batch_size: Optional[int] = None,
+        kernel_config: Optional[KernelConfig] = None,
+        hardware_scale: float = DEFAULT_HARDWARE_SCALE,
+        device: Optional[DeviceSpec] = None,
+        cpu: Optional[CpuSpec] = None,
+        cost: Optional[CostModel] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        mapper_options: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        sources = [s is not None for s in (dataset, tasks, reference)]
+        if sum(sources) != 1:
+            raise ValueError(
+                "pass exactly one workload source: dataset=, tasks= or reference="
+            )
+        if reference is not None and scoring is None:
+            raise ValueError("reference= sessions need a scoring= scheme")
+        # Fail fast on unknown registry names.
+        get_engine(engine)
+        get_suite(suite)
+        self._spec: Optional[DatasetSpec] = (
+            get_dataset_spec(dataset) if isinstance(dataset, str) else dataset
+        )
+        self._tasks = tuple(tasks) if tasks is not None else None
+        self._reference = (
+            np.asarray(reference, dtype=np.uint8) if reference is not None else None
+        )
+        self.scoring = scoring
+        self.engine = engine
+        self.suite = suite
+        self.batch_size = batch_size
+        self.kernel_config = kernel_config
+        self.hardware_scale = hardware_scale
+        self._device = device
+        self._cpu = cpu
+        self.cost = cost
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self.mapper_options = dict(mapper_options or {})
+        self._workload: Optional[Tuple[AlignmentTask, ...]] = None
+        self._mapper: Optional["LongReadMapper"] = None
+
+    # ------------------------------------------------------------------
+    # resolved configuration
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Optional[DatasetSpec]:
+        """The session's dataset spec (``None`` for task/reference sessions)."""
+        return self._spec
+
+    def hardware(self) -> Tuple[DeviceSpec, CpuSpec]:
+        """The session's (device, CPU) pair, overrides applied."""
+        if self._device is not None and self._cpu is not None:
+            return self._device, self._cpu
+        scaled_device, scaled_cpu = scaled_hardware(self.hardware_scale)
+        return self._device or scaled_device, self._cpu or scaled_cpu
+
+    def effective_batch_size(self) -> int:
+        """The batch-engine bucket size this session actually uses."""
+        if self.batch_size is not None:
+            return self.batch_size
+        if self.kernel_config is not None:
+            return self.kernel_config.batch_bucket_size
+        return DEFAULT_BUCKET_SIZE
+
+    def effective_kernel_config(self) -> KernelConfig:
+        """The kernel config with the session's batch size applied.
+
+        An explicit ``batch_size=`` wins; otherwise an explicit
+        ``kernel_config.batch_bucket_size`` is left untouched.
+        """
+        base = self.kernel_config or KernelConfig()
+        if self.batch_size is not None:
+            base = base.replace(batch_bucket_size=self.batch_size)
+        return base
+
+    def kernels(self, suite: Optional[str] = None) -> Dict[str, GuidedKernel]:
+        """Fresh kernels of one suite (the session default when omitted)."""
+        return build_suite(suite or self.suite, self.effective_kernel_config())
+
+    # ------------------------------------------------------------------
+    # workload
+    # ------------------------------------------------------------------
+    def workload(self) -> Tuple[AlignmentTask, ...]:
+        """The session's alignment tasks (cached after the first call)."""
+        if self._workload is None:
+            if self._tasks is not None:
+                self._workload = self._tasks
+            elif self._spec is not None:
+                self._workload = self._dataset_tasks(self._spec)
+            else:
+                raise ValueError(
+                    "reference= sessions have no fixed workload; "
+                    "use map_reads()/read_workload(reads) or configure dataset=/tasks="
+                )
+        return self._workload
+
+    def _dataset_tasks(self, spec: DatasetSpec) -> Tuple[AlignmentTask, ...]:
+        # Registry datasets under default cache policy share the in-process
+        # memo (and its per-task profile cache) with the bench runner.
+        if self.cache_dir is None and self.use_cache and DATASET_REGISTRY.get(spec.name) == spec:
+            from repro.pipeline.experiment import dataset_tasks
+
+            return dataset_tasks(spec.name)
+        from repro.bench.cache import WorkloadCache
+
+        return WorkloadCache(self.cache_dir, enabled=self.use_cache).tasks(spec)
+
+    # ------------------------------------------------------------------
+    # alignment
+    # ------------------------------------------------------------------
+    def align(
+        self, tasks: Optional[Sequence[AlignmentTask]] = None
+    ) -> AlignmentOutcome:
+        """Score the workload (or ``tasks``) with the configured engine."""
+        workload = tuple(tasks) if tasks is not None else self.workload()
+        batch_size = self.effective_batch_size()
+        results = align_tasks(workload, engine=self.engine, batch_size=batch_size)
+        return AlignmentOutcome(
+            engine=self.engine, batch_size=batch_size, results=tuple(results)
+        )
+
+    # ------------------------------------------------------------------
+    # read mapping
+    # ------------------------------------------------------------------
+    def mapper(self) -> "LongReadMapper":
+        """The session's read mapper (reference sessions only)."""
+        if self._reference is None or self.scoring is None:
+            raise ValueError("map_reads() needs a reference= session with scoring=")
+        if self._mapper is None:
+            from repro.pipeline.mapper import LongReadMapper
+
+            self._mapper = LongReadMapper(
+                self._reference,
+                self.scoring,
+                engine=self.engine,
+                batch_size=self.effective_batch_size(),
+                **self.mapper_options,
+            )
+        return self._mapper
+
+    def map_reads(self, reads: Sequence[np.ndarray]) -> MappingOutcome:
+        """Map a batch of reads end to end."""
+        return MappingOutcome(mappings=tuple(self.map_reads_iter(reads)))
+
+    def map_reads_iter(self, reads: Sequence[np.ndarray]) -> Iterator["ReadMapping"]:
+        """Stream mappings one read at a time (same results as map_reads).
+
+        Session validation stays eager: the mapper is resolved here, in
+        the calling frame, so a non-reference session fails at the call
+        site rather than on first iteration of the returned generator.
+        """
+        mapper = self.mapper()
+
+        def _stream() -> Iterator["ReadMapping"]:
+            for read_id, read in enumerate(reads):
+                yield mapper.map_read(read, read_id=read_id)
+
+        return _stream()
+
+    def read_workload(self, reads: Sequence[np.ndarray]) -> List[AlignmentTask]:
+        """The extension-task workload a batch of reads implies."""
+        return self.mapper().workload(reads)
+
+    # ------------------------------------------------------------------
+    # simulation / comparison
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        kernel: str = "AGAThA",
+        tasks: Optional[Sequence[AlignmentTask]] = None,
+        **options: Any,
+    ) -> SimulationOutcome:
+        """Simulate one registered kernel's launch over the workload.
+
+        ``options`` are forwarded to the kernel factory (e.g. the AGAThA
+        ablation flags or ``target=`` for the baselines).
+        """
+        instance = get_kernel(kernel)(self.effective_kernel_config(), **options)
+        workload = tuple(tasks) if tasks is not None else self.workload()
+        device, _ = self.hardware()
+        stats = instance.simulate(workload, device, self.cost)
+        return SimulationOutcome(kernel=instance.display_name, stats=stats)
+
+    def compare(
+        self,
+        suite: Optional[str] = None,
+        tasks: Optional[Sequence[AlignmentTask]] = None,
+        *,
+        cpu_aligner: Optional[CpuAligner] = None,
+    ) -> ComparisonOutcome:
+        """Simulate a whole suite over the workload against the CPU anchor."""
+        workload = tuple(tasks) if tasks is not None else self.workload()
+        device, cpu = self.hardware()
+        return compare_suite(
+            workload,
+            self.kernels(suite),
+            device=device,
+            cpu=cpu,
+            cost=self.cost,
+            cpu_aligner=cpu_aligner,
+        )
+
+    # ------------------------------------------------------------------
+    # figures
+    # ------------------------------------------------------------------
+    def run_figure(
+        self,
+        figure: str,
+        *,
+        workers: int = 1,
+        datasets: Optional[Sequence[Union[str, DatasetSpec]]] = None,
+        suites: Optional[Sequence[str]] = None,
+        progress: Optional[Callable[[int, int, Any], None]] = None,
+    ) -> "BenchRecord":
+        """Reproduce a named figure through the sharded bench runner.
+
+        A dataset session restricts the figure to its own dataset unless
+        ``datasets`` overrides.  Figure grids are keyed by *named*
+        datasets, so a tasks=/reference= session must pass ``datasets=``
+        explicitly -- silently benchmarking the figure plan's registry
+        datasets instead of the session's own workload would be
+        misleading.  Hardware, kernel config and cache policy come from
+        the session.
+        """
+        from repro.bench.runner import run_figure
+
+        if datasets is None:
+            if self._spec is None:
+                raise ValueError(
+                    "run_figure() needs named datasets: this session holds raw "
+                    "tasks/a reference, which figure grids cannot address -- "
+                    "pass datasets=[...] explicitly or use a dataset= session"
+                )
+            datasets = [self._spec]
+        device, cpu = self.hardware()
+        return run_figure(
+            figure,
+            workers=workers,
+            datasets=datasets,
+            suites=tuple(suites) if suites is not None else None,
+            config=self.effective_kernel_config(),
+            device=device,
+            cpu=cpu,
+            cost=self.cost,
+            cache_dir=self.cache_dir,
+            use_cache=self.use_cache,
+            progress=progress,
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        source = (
+            f"dataset={self._spec.name!r}" if self._spec is not None
+            else f"tasks={len(self._tasks)}" if self._tasks is not None
+            else "reference"
+        )
+        return f"Session({source}, engine={self.engine!r}, suite={self.suite!r})"

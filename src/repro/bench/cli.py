@@ -10,17 +10,24 @@ Two modes:
 ``python -m repro.bench compare BASELINE CURRENT [--tolerance 0.2]``
     Diff two record files; exit non-zero when the current record
     regresses (or loses coverage) beyond the tolerance.
+
+Custom suites registered through :func:`repro.api.register_suite` become
+valid ``--suites`` choices once their module is imported; a fresh CLI
+process imports such plugin modules via ``--plugins mod[,mod...]``
+(handled before the parser is built, so the choices include them).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from importlib import import_module
+from typing import List, Optional, Sequence, Tuple
 
+from repro.api.suites import suite_names
 from repro.bench.compare import DEFAULT_TOLERANCE, compare_records, format_report
 from repro.bench.records import BenchRecord
-from repro.bench.runner import FIGURES, SUITES, BenchCell, run_figure
+from repro.bench.runner import FIGURES, BenchCell, run_figure
 
 __all__ = ["main"]
 
@@ -29,6 +36,10 @@ def _run_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Sharded figure reproduction with persistent workload caching.",
+        # No prefix abbreviations: --plugins is consumed by a pre-scan that
+        # matches the literal flag, so an abbreviated form must be an error
+        # rather than a silently unimported plugin.
+        allow_abbrev=False,
     )
     parser.add_argument(
         "--figure",
@@ -52,8 +63,17 @@ def _run_parser() -> argparse.ArgumentParser:
         "--suites",
         nargs="+",
         metavar="SUITE",
-        choices=list(SUITES),
+        # Resolved from the shared suite registry at parser-build time;
+        # --plugins modules were imported just before this, so suites they
+        # register are valid choices too.
+        choices=list(suite_names()),
         help="restrict to these kernel suites (default: the figure plan's)",
+    )
+    parser.add_argument(
+        "--plugins",
+        metavar="MOD[,MOD...]",
+        help="import these modules first (their register_suite/register_kernel "
+        "calls make custom suites available to --suites)",
     )
     parser.add_argument(
         "--output",
@@ -80,6 +100,7 @@ def _compare_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench compare",
         description="Diff two benchmark records and fail on regressions.",
+        allow_abbrev=False,
     )
     parser.add_argument("baseline", help="baseline record (e.g. benchmarks/baseline.json)")
     parser.add_argument("current", help="current record (e.g. BENCH_fig08.json)")
@@ -98,7 +119,36 @@ def _print_record(record: BenchRecord, out=None) -> None:
     print("\n" + format_bench_record(record), file=out or sys.stdout)
 
 
+def _extract_plugins(argv: Sequence[str]) -> Tuple[List[str], List[str]]:
+    """Split ``--plugins`` values out of ``argv`` before parsing.
+
+    The plugin modules must be imported *before* the parser is built
+    (their registrations feed the ``--suites`` choices), so this light
+    pre-scan consumes ``--plugins mod[,mod...]`` / ``--plugins=...`` and
+    returns the remaining argv plus the module names.
+    """
+    remaining: List[str] = []
+    modules: List[str] = []
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--plugins" and index + 1 < len(argv):
+            modules.extend(m for m in argv[index + 1].split(",") if m)
+            index += 2
+            continue
+        if arg.startswith("--plugins="):
+            modules.extend(m for m in arg.split("=", 1)[1].split(",") if m)
+            index += 1
+            continue
+        remaining.append(arg)
+        index += 1
+    return remaining, modules
+
+
 def _run_main(argv: Sequence[str]) -> int:
+    argv, plugins = _extract_plugins(argv)
+    for module in plugins:
+        import_module(module)
     args = _run_parser().parse_args(argv)
 
     def progress(done: int, total: int, cell: BenchCell) -> None:
@@ -141,9 +191,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if argv and argv[0] == "compare":
             return _compare_main(argv[1:])
         return _run_main(argv)
-    except (KeyError, ValueError, FileNotFoundError) as exc:
-        # Post-argparse validation (unknown dataset, bad record file, ...):
-        # a clean one-line error instead of a traceback.
+    except (KeyError, ValueError, FileNotFoundError, ImportError) as exc:
+        # Post-argparse validation (unknown dataset, bad record file,
+        # missing --plugins module, ...): a clean one-line error instead
+        # of a traceback.
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2

@@ -23,17 +23,20 @@ property ``tests/bench/test_runner.py`` pins.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
+from importlib import import_module
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api.suites import ABLATION_LADDER, build_suite as _registry_build_suite, suite_names
 from repro.baselines.cpu_model import CpuSpec
 from repro.bench.cache import WorkloadCache, spec_fingerprint
 from repro.bench.records import BenchRecord, CellRecord, SuiteRecord, environment_metadata
 from repro.gpusim.device import CostModel, DeviceSpec
 from repro.io.datasets import DATASET_REGISTRY, DatasetSpec, get_dataset_spec
-from repro.kernels import AgathaKernel, GuidedKernel, KernelConfig
+from repro.kernels import GuidedKernel, KernelConfig
 
 __all__ = [
     "ABLATION_LADDER",
@@ -50,23 +53,17 @@ __all__ = [
 ]
 
 
-#: AGAThA's ablation ladder (Figure 9): each step enables one more scheme.
-ABLATION_LADDER: Tuple[Tuple[str, Dict[str, bool]], ...] = (
-    ("Baseline", dict(rolling_window=False, sliced_diagonal=False,
-                      subwarp_rejoining=False, uneven_bucketing=False)),
-    ("(+) RW", dict(rolling_window=True, sliced_diagonal=False,
-                    subwarp_rejoining=False, uneven_bucketing=False)),
-    ("(+) SD", dict(rolling_window=True, sliced_diagonal=True,
-                    subwarp_rejoining=False, uneven_bucketing=False)),
-    ("(+) SR", dict(rolling_window=True, sliced_diagonal=True,
-                    subwarp_rejoining=True, uneven_bucketing=False)),
-    ("(+) UB", dict(rolling_window=True, sliced_diagonal=True,
-                    subwarp_rejoining=True, uneven_bucketing=True)),
-)
+def __getattr__(name: str):
+    # ``SUITES`` used to be a hardcoded tuple here (the duplicate of
+    # ``kernel_suite`` the registry replaced).  Attribute access
+    # (``repro.bench.runner.SUITES``) now reads the shared suite registry
+    # on every lookup; note that ``from repro.bench.runner import SUITES``
+    # binds a one-time snapshot -- callers that need a live view should
+    # use :func:`repro.api.suite_names`.
+    if name == "SUITES":
+        return suite_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-#: Kernel suites the runner can build inside a worker (names must stay
-#: picklable strings; the kernels themselves are constructed per process).
-SUITES: Tuple[str, ...] = ("mm2", "diff", "ablation")
 
 #: The one-per-technology subset used by quick runs (mirrors
 #: ``benchmarks/bench_utils.REPRESENTATIVE_DATASETS``).
@@ -113,18 +110,17 @@ FIGURES: Dict[str, FigurePlan] = {
 def build_suite(
     suite: str, config: Optional[KernelConfig] = None
 ) -> Mapping[str, GuidedKernel]:
-    """Construct the kernels of one named suite (inside the worker)."""
-    # Imported lazily: experiment imports this module's callers and the
-    # bench package must stay importable before experiment finishes loading.
-    from repro.pipeline.experiment import kernel_suite
+    """Construct the kernels of one named suite (inside the worker).
 
-    if suite in ("mm2", "diff"):
-        return kernel_suite(config, target=suite)
-    if suite == "ablation":
-        return {
-            label: AgathaKernel(config, **flags) for label, flags in ABLATION_LADDER
-        }
-    raise ValueError(f"unknown suite {suite!r}; available: {list(SUITES)}")
+    Thin wrapper over the shared registry
+    (:func:`repro.api.suites.build_suite`); kept because workers and
+    long-standing callers import it from here, and because the runner's
+    historical contract is :class:`ValueError` for unknown suites.
+    """
+    try:
+        return _registry_build_suite(suite, config)
+    except KeyError as exc:
+        raise ValueError(exc.args[0] if exc.args else str(exc)) from None
 
 
 def resolve_specs(datasets: Sequence[str | DatasetSpec]) -> List[DatasetSpec]:
@@ -156,6 +152,19 @@ class BenchCell:
     cost: Optional[CostModel] = None
     cache_dir: Optional[str] = None
     use_cache: bool = True
+    #: Module that registered ``suite`` (from the suite registry).  A
+    #: spawn-started worker that does not know the suite imports this
+    #: module once and retries, so plugin-registered suites shard too.
+    suite_origin: Optional[str] = None
+
+
+def _suite_origin(suite: str) -> Optional[str]:
+    """The registering module of a suite, for shipping inside cells."""
+    from repro.api import suites as api_suites
+
+    if suite in api_suites.SUITES:
+        return api_suites.get_suite(suite).origin or None
+    return None
 
 
 #: In-process memo of non-registry workloads, keyed by (cache root,
@@ -192,17 +201,61 @@ def _cell_tasks(cell: BenchCell):
 def run_cell(cell: BenchCell) -> Dict[str, dict]:
     """Execute one cell: simulate its suite over its dataset's workload.
 
-    Returns the :func:`repro.pipeline.experiment.compare_kernels` mapping
-    (``kernel -> summary`` with the CPU anchor under ``"CPU"``) as plain
-    dicts, safe to pickle back from a worker process.
+    Returns the historical comparison mapping (``kernel -> summary`` with
+    the CPU anchor under ``"CPU"``) as plain dicts, safe to pickle back
+    from a worker process; cells are built from the shared suite registry
+    via :func:`repro.api.compare.compare_suite`.
     """
-    from repro.pipeline.experiment import compare_kernels
+    from repro.api.compare import compare_suite
 
     tasks = _cell_tasks(cell)
-    kernels = build_suite(cell.suite, cell.config)
-    return compare_kernels(
+    kernels = _build_cell_suite(cell)
+    return compare_suite(
         tasks, kernels, device=cell.device, cpu=cell.cpu, cost=cell.cost
-    )
+    ).to_dict()
+
+
+def _build_cell_suite(cell: BenchCell) -> Mapping[str, GuidedKernel]:
+    """Build a cell's kernels, importing its plugin module if needed.
+
+    Spawn-started workers re-import only the modules the runner imports,
+    so a suite registered by a plugin module is unknown until that module
+    (recorded in ``cell.suite_origin``) is imported here.
+    """
+    try:
+        return build_suite(cell.suite, cell.config)
+    except ValueError:
+        if cell.suite_origin and cell.suite_origin != "__main__":
+            import_module(cell.suite_origin)
+            return build_suite(cell.suite, cell.config)
+        raise
+
+
+def _ensure_suites_shardable(cells: Sequence[BenchCell]) -> None:
+    """Fail fast when a cell's suite cannot be rebuilt inside a worker.
+
+    Pool workers rebuild kernels from the suite *name*.  Suites
+    registered by an importable plugin module are re-registered inside
+    the worker (:func:`_build_cell_suite` imports ``suite_origin``), and
+    under the ``fork`` start method ``__main__`` registrations are
+    inherited; but under ``spawn``/``forkserver`` a ``__main__``
+    registration is unreachable and would surface as a mid-run KeyError
+    from every worker (mirrors the eager ``kernel_factory cannot be
+    sharded`` check).
+    """
+    if multiprocessing.get_start_method() == "fork":
+        return
+    from repro.api import suites as api_suites
+
+    for suite in sorted({cell.suite for cell in cells}):
+        if suite not in api_suites.SUITES:
+            continue  # unknown names fail with their own error inside build_suite
+        if api_suites.get_suite(suite).origin == "__main__":
+            raise ValueError(
+                f"suite {suite!r} was registered in __main__ and cannot be "
+                "rebuilt inside spawn-started worker processes; register it "
+                "in an importable module or run with workers=1"
+            )
 
 
 def run_cells(
@@ -225,6 +278,7 @@ def run_cells(
             if progress is not None:
                 progress(index + 1, total, cell)
         return results
+    _ensure_suites_shardable(cells)
     with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
         futures = [pool.submit(run_cell, cell) for cell in cells]
         done = 0
@@ -292,7 +346,7 @@ def run_speedup_table(
                 "kernel_factory cannot be sharded over processes; "
                 "use a named suite or workers=1"
             )
-        from repro.pipeline.experiment import compare_kernels
+        from repro.api.compare import compare_suite
 
         results = []
         for spec in specs:
@@ -302,13 +356,17 @@ def run_speedup_table(
             )
             tasks = _cell_tasks(cell)
             results.append(
-                compare_kernels(tasks, kernel_factory(), device=device, cpu=cpu, cost=cost)
+                compare_suite(
+                    tasks, kernel_factory(), device=device, cpu=cpu, cost=cost
+                ).to_dict()
             )
         return _merge_speedups(specs, results)
+    origin = _suite_origin(suite)
     cells = [
         BenchCell(
             spec=spec, suite=suite, config=config, device=device, cpu=cpu,
             cost=cost, cache_dir=cache_dir, use_cache=use_cache,
+            suite_origin=origin,
         )
         for spec in specs
     ]
@@ -365,16 +423,20 @@ def run_figure(
         raise KeyError(f"unknown figure {figure!r}; available: {sorted(FIGURES)}")
     plan = FIGURES[figure]
     specs = resolve_specs(datasets if datasets is not None else plan.datasets)
-    suite_names = tuple(suites if suites is not None else plan.suites)
-    for suite in suite_names:
-        if suite not in SUITES:
-            raise ValueError(f"unknown suite {suite!r}; available: {list(SUITES)}")
+    plan_suites = tuple(suites if suites is not None else plan.suites)
+    for suite in plan_suites:
+        if suite not in suite_names():
+            raise ValueError(
+                f"unknown suite {suite!r}; available: {list(suite_names())}"
+            )
+    origins = {suite: _suite_origin(suite) for suite in plan_suites}
     cells = [
         BenchCell(
             spec=spec, suite=suite, config=config, device=device, cpu=cpu,
             cost=cost, cache_dir=cache_dir, use_cache=use_cache,
+            suite_origin=origins[suite],
         )
-        for suite in suite_names
+        for suite in plan_suites
         for spec in specs
     ]
     start = time.perf_counter()
@@ -395,7 +457,7 @@ def run_figure(
         datasets=[spec.name for spec in specs],
         environment=environment_metadata(
             workers=workers,
-            suites=list(suite_names),
+            suites=list(plan_suites),
             device=meta_device.name,
             cpu=meta_cpu.name,
             cache_dir=str(WorkloadCache(cache_dir).root) if use_cache else None,
@@ -403,7 +465,7 @@ def run_figure(
         wall_time_s=wall,
     )
     per_suite = len(specs)
-    for index, suite in enumerate(suite_names):
+    for index, suite in enumerate(plan_suites):
         chunk = results[index * per_suite : (index + 1) * per_suite]
         record.suites[suite] = _suite_record(suite, specs, chunk)
     return record

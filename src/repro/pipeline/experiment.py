@@ -10,35 +10,33 @@ The module provides exactly the pieces every figure reproduction needs:
   50 000-read datasets, so both machines are scaled down by the same
   factor; ratios between kernels and against the CPU anchor are
   preserved (see DESIGN.md);
-* :func:`kernel_suite` -- the kernels of the Figure 8 comparison;
-* :func:`compare_kernels` / :func:`speedup_table` -- run a set of kernels
-  over a workload and normalise to the CPU baseline.
+* :func:`speedup_table` -- run a kernel suite over a set of datasets and
+  normalise to the CPU baseline.
+
+:func:`kernel_suite`, :func:`align_workload` and :func:`compare_kernels`
+remain as **deprecation shims**: the implementations moved behind the
+:mod:`repro.api` registries and :class:`repro.api.Session` (see
+DESIGN.md, "The public API layer"), and the shims delegate there after
+emitting a single :class:`DeprecationWarning`.  Results are bit-identical
+either way.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.align.antidiagonal import antidiagonal_align
-from repro.align.batch import DEFAULT_BUCKET_SIZE, batch_align
+from repro.align.batch import DEFAULT_BUCKET_SIZE
 from repro.align.types import AlignmentResult, AlignmentTask
-from repro.baselines.aligner import Minimap2CpuAligner
 from repro.baselines.cpu_model import CpuSpec, EPYC_16C_SSE4
 from repro.gpusim.device import CostModel, DeviceSpec, RTX_A6000
 from repro.io.datasets import DATASET_REGISTRY, DatasetSpec
-from repro.kernels import (
-    AgathaKernel,
-    Gasal2Kernel,
-    GuidedKernel,
-    KernelConfig,
-    LoganKernel,
-    ManymapKernel,
-    SALoBaKernel,
-)
+from repro.kernels import GuidedKernel, KernelConfig
+
 __all__ = [
     "ExperimentConfig",
     "all_dataset_names",
@@ -126,35 +124,37 @@ def scaled_hardware(
 
 
 # ----------------------------------------------------------------------
-# kernels of the main comparison
+# deprecation shims (the implementations live in repro.api)
 # ----------------------------------------------------------------------
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def kernel_suite(
     config: KernelConfig | ExperimentConfig | None = None, target: str = "mm2"
 ) -> Dict[str, GuidedKernel]:
-    """The GPU kernels of Figure 8 for one target ("mm2" or "diff").
+    """Deprecated: the GPU kernels of one registered suite.
 
-    Accepts either a raw :class:`KernelConfig` or an
+    Use ``repro.api.build_suite(name, config)`` (or
+    :meth:`repro.api.Session.kernels`).  Still accepts an
     :class:`ExperimentConfig` (whose ``batch_size`` is applied to the
-    kernels' batched scoring path via :meth:`make_kernel_config`).
+    kernels' batched scoring path via :meth:`make_kernel_config`) and
+    still raises :class:`ValueError` for unknown targets; any registered
+    suite name is now a valid ``target``.
     """
+    _warn_deprecated("repro.pipeline.experiment.kernel_suite", "repro.api.build_suite")
+    from repro.api.suites import build_suite
+
     if isinstance(config, ExperimentConfig):
         config = config.make_kernel_config()
-    config = config or KernelConfig()
-    if target == "mm2":
-        return {
-            "GASAL2": Gasal2Kernel(config, target="mm2"),
-            "SALoBa": SALoBaKernel(config, target="mm2"),
-            "Manymap": ManymapKernel(config, target="mm2"),
-            "AGAThA": AgathaKernel(config),
-        }
-    if target == "diff":
-        return {
-            "GASAL2": Gasal2Kernel(config, target="diff"),
-            "SALoBa": SALoBaKernel(config, target="diff"),
-            "Manymap": ManymapKernel(config, target="diff"),
-            "LOGAN": LoganKernel(config),
-        }
-    raise ValueError("target must be 'mm2' or 'diff'")
+    try:
+        return build_suite(target, config)
+    except KeyError as exc:
+        raise ValueError(exc.args[0] if exc.args else str(exc)) from None
 
 
 # ----------------------------------------------------------------------
@@ -166,18 +166,21 @@ def align_workload(
     batched: bool = True,
     batch_size: int = DEFAULT_BUCKET_SIZE,
 ) -> List[AlignmentResult]:
-    """Score a whole workload, batched (default) or task by task.
+    """Deprecated: score a whole workload, batched (default) or scalar.
 
-    Both paths produce bit-identical results; the scalar path exists as
-    the oracle for the batched engine and as a fallback.  This is the
-    function the batch-engine benchmark times under both settings.
+    Use ``repro.api.align_tasks(tasks, engine="batch"|"scalar", ...)`` or
+    :meth:`repro.api.Session.align`.  Both paths produce bit-identical
+    results; the boolean maps onto the engine registry.
     """
-    if batched:
-        return batch_align(tasks, bucket_size=batch_size)
-    return [
-        antidiagonal_align(task.ref, task.query, task.scoring)
-        for task in tasks
-    ]
+    _warn_deprecated(
+        "repro.pipeline.experiment.align_workload(batched=...)",
+        "repro.api.align_tasks(engine=...)",
+    )
+    from repro.api.engines import align_tasks
+
+    return align_tasks(
+        tasks, engine="batch" if batched else "scalar", batch_size=batch_size
+    )
 
 
 # ----------------------------------------------------------------------
@@ -191,31 +194,19 @@ def compare_kernels(
     cpu: CpuSpec | None = None,
     cost: CostModel | None = None,
 ) -> Dict[str, dict]:
-    """Simulate every kernel over ``tasks`` and report times and speedups.
+    """Deprecated: simulate every kernel over ``tasks`` with speedups.
 
-    Returns a mapping ``name -> summary`` where the summary extends
-    :meth:`KernelLaunchStats.summary` with ``speedup_vs_cpu``; the CPU
-    baseline itself appears under the key ``"CPU"``.
+    Use :meth:`repro.api.Session.compare` or
+    ``repro.api.compare_suite(...)``; this shim returns the typed
+    outcome's ``to_dict()`` view, bit-identical to the historical mapping
+    (``name -> summary`` with the CPU anchor under ``"CPU"``).
     """
-    if device is None or cpu is None:
-        scaled_device, scaled_cpu = scaled_hardware()
-        device = device or scaled_device
-        cpu = cpu or scaled_cpu
-    cpu_aligner = Minimap2CpuAligner(cpu)
-    cpu_ms = cpu_aligner.time_ms(tasks)
-    out: Dict[str, dict] = {
-        "CPU": {
-            "kernel": cpu_aligner.display_name,
-            "time_ms": cpu_ms,
-            "speedup_vs_cpu": 1.0,
-        }
-    }
-    for name, kernel in kernels.items():
-        stats = kernel.simulate(tasks, device, cost)
-        summary = stats.summary()
-        summary["speedup_vs_cpu"] = cpu_ms / stats.time_ms if stats.time_ms > 0 else float("inf")
-        out[name] = summary
-    return out
+    _warn_deprecated(
+        "repro.pipeline.experiment.compare_kernels", "repro.api.Session.compare"
+    )
+    from repro.api.compare import compare_suite
+
+    return compare_suite(tasks, kernels, device=device, cpu=cpu, cost=cost).to_dict()
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -19,6 +19,7 @@ alignment", Section 5.1).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -70,13 +71,17 @@ class LongReadMapper:
         Minimizer parameters.
     min_anchors:
         Minimum chain size for a read to count as mapped.
-    batched:
-        Submit each read's extension tasks to the struct-of-arrays batch
-        engine (:func:`repro.align.batch.batch_align`) as one batch
-        instead of aligning them one by one.  Scores are bit-identical;
-        the batched path is simply faster.
+    engine:
+        Alignment-engine name from the :mod:`repro.api` engine registry
+        (``"batch"`` by default: each read's extension tasks go to the
+        struct-of-arrays batch engine as one batch.  ``"scalar"`` aligns
+        them one by one -- scores are bit-identical, just slower).
     batch_size:
         Bucket size handed to the batch engine.
+    batched:
+        Deprecated boolean form of ``engine`` (``True`` -> ``"batch"``,
+        ``False`` -> ``"scalar"``); passing it emits a
+        :class:`DeprecationWarning`.
     """
 
     def __init__(
@@ -89,9 +94,20 @@ class LongReadMapper:
         min_anchors: int = 3,
         max_extension: int = 4096,
         anchor_spacing: int = 200,
-        batched: bool = True,
+        engine: Optional[str] = None,
+        batched: Optional[bool] = None,
         batch_size: int = DEFAULT_BUCKET_SIZE,
     ):
+        if batched is not None:
+            if engine is not None:
+                raise ValueError("pass engine=..., not both engine= and batched=")
+            warnings.warn(
+                "LongReadMapper(batched=...) is deprecated; "
+                "pass engine='batch' or engine='scalar' instead (see repro.api)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            engine = "batch" if batched else "scalar"
         self.reference = np.asarray(reference, dtype=np.uint8)
         self.scoring = scoring
         self.k = k
@@ -99,9 +115,19 @@ class LongReadMapper:
         self.min_anchors = min_anchors
         self.max_extension = max_extension
         self.anchor_spacing = anchor_spacing
-        self.batched = batched
+        self.engine = engine if engine is not None else "batch"
+        # Imported lazily (repro.api.session imports this module); fail
+        # fast on unknown engine names rather than mid-mapping.
+        from repro.api.engines import get_engine
+
+        get_engine(self.engine)
         self.batch_size = batch_size
         self.index = MinimizerIndex(self.reference, k=k, w=w)
+
+    @property
+    def batched(self) -> bool:
+        """Backwards-compatible view of the engine choice."""
+        return self.engine != "scalar"
 
     # ------------------------------------------------------------------
     def best_chain(self, read: np.ndarray) -> Optional[Chain]:
@@ -139,13 +165,11 @@ class LongReadMapper:
     def align_tasks(
         self, tasks: Sequence[AlignmentTask]
     ) -> List[AlignmentResult]:
-        """Align extension tasks; one batch per call when ``batched``."""
-        # Imported lazily: experiment.py imports this module at load time.
-        from repro.pipeline.experiment import align_workload
+        """Align extension tasks with the configured engine."""
+        # Imported lazily: repro.api.session imports this module.
+        from repro.api.engines import align_tasks
 
-        return align_workload(
-            tasks, batched=self.batched, batch_size=self.batch_size
-        )
+        return align_tasks(tasks, engine=self.engine, batch_size=self.batch_size)
 
     def map_read(self, read: np.ndarray, read_id: int = 0) -> ReadMapping:
         """Map one read end to end (chain + extension alignment)."""

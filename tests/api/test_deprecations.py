@@ -1,0 +1,145 @@
+"""The deprecation shims: one warning each, bit-identical behaviour.
+
+Policy (DESIGN.md, "Deprecation policy"): a legacy entry point keeps its
+exact historical behaviour, emits exactly one :class:`DeprecationWarning`
+per call naming its replacement, and delegates to the shared
+``repro.api`` implementation so the two paths cannot diverge.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.align import preset
+from repro.api import Session, align_tasks, build_suite
+from repro.io.datasets import synthetic_reference
+from repro.kernels import AgathaKernel, KernelConfig
+from repro.pipeline.experiment import (
+    ExperimentConfig,
+    align_workload,
+    compare_kernels,
+    kernel_suite,
+)
+from repro.pipeline.mapper import LongReadMapper
+
+
+def _deprecations(fn, *args, **kwargs):
+    """Run ``fn`` and return (result, list of DeprecationWarnings)."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = fn(*args, **kwargs)
+    return result, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestAlignWorkloadShim:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_single_warning_and_bit_identical(self, task_batch, batched):
+        legacy, deps = _deprecations(align_workload, task_batch, batched=batched)
+        assert len(deps) == 1
+        assert "align_tasks" in str(deps[0].message)
+        fresh = align_tasks(task_batch, engine="batch" if batched else "scalar")
+        assert [r.score for r in legacy] == [r.score for r in fresh]
+        assert [r.cells_computed for r in legacy] == [r.cells_computed for r in fresh]
+        assert [(r.max_i, r.max_j, r.terminated) for r in legacy] == [
+            (r.max_i, r.max_j, r.terminated) for r in fresh
+        ]
+
+    def test_batch_size_forwarded(self, task_batch):
+        legacy, deps = _deprecations(align_workload, task_batch, batch_size=7)
+        assert len(deps) == 1
+        fresh = align_tasks(task_batch, engine="batch", batch_size=7)
+        assert [r.score for r in legacy] == [r.score for r in fresh]
+
+
+class TestKernelSuiteShim:
+    @pytest.mark.parametrize("target", ["mm2", "diff"])
+    def test_single_warning_and_same_lineup(self, target):
+        legacy, deps = _deprecations(kernel_suite, target=target)
+        assert len(deps) == 1
+        assert "build_suite" in str(deps[0].message)
+        fresh = build_suite(target)
+        assert list(legacy) == list(fresh)
+        for name in legacy:
+            assert type(legacy[name]) is type(fresh[name])
+            assert legacy[name].target == fresh[name].target
+            assert legacy[name].config == fresh[name].config
+
+    def test_experiment_config_batch_size_still_flows(self):
+        legacy, deps = _deprecations(kernel_suite, ExperimentConfig(batch_size=17))
+        assert len(deps) == 1
+        assert all(k.config.batch_bucket_size == 17 for k in legacy.values())
+
+    def test_unknown_target_still_value_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown suite"):
+                kernel_suite(target="x")
+
+    def test_registered_suites_now_reachable(self):
+        legacy, deps = _deprecations(kernel_suite, target="ablation")
+        assert len(deps) == 1
+        assert list(legacy)[0] == "Baseline"
+
+
+class TestCompareKernelsShim:
+    def test_single_warning_and_bit_identical(self, task_batch):
+        kernels = {"AGAThA": AgathaKernel(KernelConfig())}
+        legacy, deps = _deprecations(compare_kernels, task_batch, kernels)
+        assert len(deps) == 1
+        assert "Session.compare" in str(deps[0].message)
+        fresh = Session(tasks=task_batch, suite="mm2").compare()
+        # Same CPU anchor and, for the shared kernel, identical floats.
+        assert legacy["CPU"] == fresh.to_dict()["CPU"]
+        assert legacy["AGAThA"] == fresh.to_dict()["AGAThA"]
+
+
+class TestLongReadMapperShim:
+    @pytest.fixture
+    def reference_and_scoring(self, rng):
+        return synthetic_reference(10_000, rng), preset(
+            "map-ont", band_width=32, zdrop=120
+        )
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_batched_kwarg_warns_once_and_maps_to_engine(
+        self, reference_and_scoring, batched
+    ):
+        reference, scoring = reference_and_scoring
+        mapper, deps = _deprecations(
+            LongReadMapper, reference, scoring, batched=batched
+        )
+        assert len(deps) == 1
+        assert "engine=" in str(deps[0].message)
+        assert mapper.engine == ("batch" if batched else "scalar")
+        assert mapper.batched is batched  # compat property
+
+    def test_engine_kwarg_is_silent(self, reference_and_scoring):
+        reference, scoring = reference_and_scoring
+        mapper, deps = _deprecations(
+            LongReadMapper, reference, scoring, engine="scalar"
+        )
+        assert deps == []
+        assert mapper.engine == "scalar"
+
+    def test_engine_and_batched_conflict(self, reference_and_scoring):
+        reference, scoring = reference_and_scoring
+        with pytest.raises(ValueError, match="not both"):
+            LongReadMapper(reference, scoring, engine="batch", batched=True)
+
+    def test_unknown_engine_rejected(self, reference_and_scoring):
+        reference, scoring = reference_and_scoring
+        with pytest.raises(KeyError, match="unknown engine"):
+            LongReadMapper(reference, scoring, engine="warp-drive")
+
+    def test_legacy_path_bit_identical(self, reference_and_scoring, rng):
+        reference, scoring = reference_and_scoring
+        read = np.concatenate([reference[1000:2200]])
+        legacy, deps = _deprecations(
+            LongReadMapper, reference, scoring, batched=False
+        )
+        assert len(deps) == 1
+        modern = LongReadMapper(reference, scoring, engine="scalar")
+        lhs, rhs = legacy.map_read(read), modern.map_read(read)
+        assert lhs.mapped == rhs.mapped
+        assert lhs.mapping_score == rhs.mapping_score
+        assert (lhs.ref_start, lhs.ref_end) == (rhs.ref_start, rhs.ref_end)

@@ -61,6 +61,56 @@ class TestRunMode:
         assert not (tmp_path / "unused").exists()
         assert record.environment["cache_dir"] is None
 
+    def test_plugins_flag_enables_custom_suite(self, tmp_path, monkeypatch, capsys):
+        """--plugins imports a module whose registered suite becomes a
+        valid --suites choice in a fresh CLI invocation."""
+        plugin = tmp_path / "cli_plugin_mod.py"
+        plugin.write_text(
+            "from repro.api import SUITES, SuiteEntry, register_suite\n"
+            "if 'cli-plugin-suite' not in SUITES:\n"
+            "    register_suite('cli-plugin-suite',\n"
+            "                   [SuiteEntry.make('AGAThA', 'AGAThA')])\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        out = tmp_path / "rec.json"
+        code = main(
+            [
+                "--plugins", "cli_plugin_mod",
+                "--figure", "quick",
+                "--datasets", "ONT-HG002",
+                "--suites", "cli-plugin-suite",
+                "--output", str(out),
+                "--quiet",
+            ]
+        )
+        from repro.api.suites import SUITES
+
+        try:
+            assert code == 0
+            record = BenchRecord.load(out)
+            assert set(record.suites) == {"cli-plugin-suite"}
+            assert [c.kernel for c in record.suites["cli-plugin-suite"].cells] == [
+                "AGAThA"
+            ]
+        finally:
+            import sys as _sys
+
+            if "cli-plugin-suite" in SUITES:
+                SUITES.unregister("cli-plugin-suite")
+            _sys.modules.pop("cli_plugin_mod", None)
+
+    def test_missing_plugins_module_is_a_clean_error(self, capsys):
+        assert main(["--plugins", "no_such_plugin_mod", "--figure", "quick"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_abbreviated_plugins_flag_is_rejected(self, capsys):
+        """The pre-scan matches --plugins literally, so an abbreviation
+        must be a hard parser error, never a silently skipped import."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--plugin", "some_mod", "--figure", "quick"])
+        assert excinfo.value.code == 2
+        assert "--plugin" in capsys.readouterr().err
+
     def test_unknown_figure_exits_with_usage_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--figure", "fig99"])

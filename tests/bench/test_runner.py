@@ -173,3 +173,75 @@ class TestCells:
         )
         with pytest.raises(ValueError, match="unknown suite"):
             run_cells([bad, bad], workers=2)
+
+    def test_worker_imports_plugin_module_for_unknown_suite(
+        self, tiny_spec, tmp_path, monkeypatch
+    ):
+        """A spawn worker that never imported the plugin module rebuilds
+        the suite by importing ``cell.suite_origin`` and retrying."""
+        import sys
+
+        plugin = tmp_path / "bench_plugin_mod.py"
+        plugin.write_text(
+            "from repro.api import SUITES, SuiteEntry, register_suite\n"
+            "if 'plugin-suite' not in SUITES:\n"
+            "    register_suite('plugin-suite', [SuiteEntry.make('AGAThA', 'AGAThA')])\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        import importlib
+
+        importlib.import_module("bench_plugin_mod")
+        from repro.api.suites import SUITES, get_suite
+
+        try:
+            assert get_suite("plugin-suite").origin == "bench_plugin_mod"
+            # Simulate a freshly spawned worker: neither the registry entry
+            # nor the plugin module exists yet.
+            SUITES.unregister("plugin-suite")
+            sys.modules.pop("bench_plugin_mod")
+            cell = BenchCell(
+                spec=tiny_spec,
+                suite="plugin-suite",
+                suite_origin="bench_plugin_mod",
+                **_cache_args(tmp_path),
+            )
+            result = run_cell(cell)
+            assert set(result) == {"CPU", "AGAThA"}
+        finally:
+            if "plugin-suite" in SUITES:
+                SUITES.unregister("plugin-suite")
+            sys.modules.pop("bench_plugin_mod", None)
+
+    def test_cells_carry_builtin_suite_origin(self, tiny_specs, tmp_path):
+        from repro.bench.runner import _suite_origin
+
+        assert _suite_origin("mm2") == "repro.api.suites"
+        assert _suite_origin("not-registered") is None
+
+    def test_main_registered_suite_rejected_under_spawn(
+        self, tiny_specs, tmp_path, monkeypatch
+    ):
+        """Spawn-started workers re-import modules and never see __main__
+        registrations, so sharding such a suite must fail fast."""
+        from repro.api.suites import SUITES, SuiteEntry, SuiteSpec
+
+        spec = SuiteSpec(
+            name="test-main-suite",
+            entries=(SuiteEntry.make("AGAThA", "AGAThA"),),
+            origin="__main__",
+        )
+        SUITES.register("test-main-suite", spec)
+        cells = [
+            BenchCell(spec=s, suite="test-main-suite", **_cache_args(tmp_path))
+            for s in tiny_specs
+        ]
+        try:
+            monkeypatch.setattr(
+                "multiprocessing.get_start_method", lambda *a, **k: "spawn"
+            )
+            with pytest.raises(ValueError, match="registered in __main__"):
+                run_cells(cells, workers=2)
+            # Serial execution stays fine regardless of start method.
+            assert len(run_cells(cells, workers=1)) == 2
+        finally:
+            SUITES.unregister("test-main-suite")
