@@ -76,6 +76,14 @@ _EXPORTS = {
     # workflow helpers
     "align_tasks": "repro.api",
     "compare_suite": "repro.api",
+    # serving layer
+    "ServeConfig": "repro.api",
+    "AlignmentService": "repro.api",
+    "ServeReport": "repro.api",
+    "LoadGenerator": "repro.api",
+    "RequestTrace": "repro.api",
+    "replay": "repro.api",
+    "serve_bench_record": "repro.api",
     # records (the run_figure return type)
     "BenchRecord": "repro.bench.records",
 }
@@ -85,12 +93,17 @@ __all__ = ["__version__", *sorted(_EXPORTS)]
 if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
     from repro.api import (  # noqa: F401
         AlignmentOutcome,
+        AlignmentService,
         ComparisonOutcome,
         CpuSummary,
         KernelSummary,
+        LoadGenerator,
         MappingOutcome,
         Registry,
         RegistryError,
+        RequestTrace,
+        ServeConfig,
+        ServeReport,
         Session,
         SimulationOutcome,
         SuiteEntry,
@@ -98,6 +111,8 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
         align_tasks,
         build_suite,
         compare_suite,
+        replay,
+        serve_bench_record,
         engine_names,
         get_engine,
         get_kernel,

@@ -8,8 +8,20 @@ guided dynamic program as :mod:`repro.align.reference` while recording the
 move that produced each ``H`` / ``E`` / ``F`` value, then walks back from
 the best cell.
 
-Only intended for example-sized sequences; complexity is ``O(n * m)`` in
-time and memory.
+Storage is band-limited: for a banded scheme the ``H``/``E``/``F`` and
+move matrices are allocated as ``(query_len, band_width)`` arrays -- one
+row per query character, one column per diagonal the
+:class:`~repro.align.banding.BandGeometry` keeps -- instead of the dense
+``O(n * m)`` tables, so traceback memory scales with ``m * w`` like the
+score-only engines.  Cell ``(i, j)`` lives at column ``i - j - diag_lo``;
+the three neighbours a cell reads stay adjacent under that mapping
+(``(i-1, j)`` is one column left, ``(i, j-1)`` one row up and one column
+right, ``(i-1, j-1)`` one row up).  Unbanded schemes (or bands wider
+than the reference) keep the dense layout, which is smaller in that
+regime.  Results are identical either way on in-band cells.
+
+Time complexity is still the number of in-band cells with per-cell
+Python dispatch; only intended for example-sized sequences.
 """
 
 from __future__ import annotations
@@ -89,16 +101,33 @@ _F_OPEN = 0
 _F_EXT = 1
 
 
+def _band_storage_shape(geometry: BandGeometry) -> tuple[tuple[int, int], bool]:
+    """Storage shape for the traceback matrices of ``geometry``.
+
+    Returns ``((rows, cols), banded)``: the band layout ``(query_len,
+    band width in diagonals)`` when it is narrower than the dense
+    ``(ref_len, query_len)`` table, else the dense layout.
+    """
+    width = geometry.diag_hi - geometry.diag_lo + 1
+    if geometry.band_width > 0 and width < geometry.ref_len:
+        return (geometry.query_len, width), True
+    return (geometry.ref_len, geometry.query_len), False
+
+
 def traceback_align(
     ref: np.ndarray,
     query: np.ndarray,
     scoring: ScoringScheme,
+    *,
+    _band_storage: bool | None = None,
 ) -> TracebackResult:
     """Align and reconstruct the path ending at the best-scoring cell.
 
     The alignment always starts at the table origin (extension alignment),
     so ``ref_start == query_start == 0``; the end coordinates are the best
-    cell (exclusive).
+    cell (exclusive).  ``_band_storage`` overrides the automatic storage
+    layout choice (tests pin band/dense equivalence with it); results do
+    not depend on it.
     """
     ref = np.asarray(ref, dtype=np.uint8)
     query = np.asarray(query, dtype=np.uint8)
@@ -115,12 +144,27 @@ def traceback_align(
     open_cost = alpha + beta
     sub = scoring.substitution_matrix()
 
-    H = np.full((n, m), NEG_INF, dtype=np.int64)
-    E = np.full((n, m), NEG_INF, dtype=np.int64)
-    F = np.full((n, m), NEG_INF, dtype=np.int64)
-    move_h = np.zeros((n, m), dtype=np.uint8)
-    move_e = np.zeros((n, m), dtype=np.uint8)
-    move_f = np.zeros((n, m), dtype=np.uint8)
+    _, auto_banded = _band_storage_shape(geometry)
+    banded = auto_banded if _band_storage is None else _band_storage
+    if banded:
+        shape = (m, geometry.diag_hi - geometry.diag_lo + 1)
+        lo = geometry.diag_lo
+
+        def pos(i: int, j: int) -> tuple[int, int]:
+            return (j, i - j - lo)
+
+    else:
+        shape = (n, m)
+
+        def pos(i: int, j: int) -> tuple[int, int]:
+            return (i, j)
+
+    H = np.full(shape, NEG_INF, dtype=np.int64)
+    E = np.full(shape, NEG_INF, dtype=np.int64)
+    F = np.full(shape, NEG_INF, dtype=np.int64)
+    move_h = np.zeros(shape, dtype=np.uint8)
+    move_e = np.zeros(shape, dtype=np.uint8)
+    move_f = np.zeros(shape, dtype=np.uint8)
 
     def bound_h(i: int, j: int) -> int:
         if i == -1 and j == -1:
@@ -137,39 +181,42 @@ def traceback_align(
         local_best, local_i, local_j = NEG_INF, -1, -1
         for j in range(j_lo, j_hi + 1):
             i = c - j
-            up_h = bound_h(-1, j) if i == 0 else (int(H[i - 1, j]) if geometry.in_band(i - 1, j) else NEG_INF)
-            up_e = NEG_INF if i == 0 else (int(E[i - 1, j]) if geometry.in_band(i - 1, j) else NEG_INF)
-            left_h = bound_h(i, -1) if j == 0 else (int(H[i, j - 1]) if geometry.in_band(i, j - 1) else NEG_INF)
-            left_f = NEG_INF if j == 0 else (int(F[i, j - 1]) if geometry.in_band(i, j - 1) else NEG_INF)
+            here = pos(i, j)
+            up = pos(i - 1, j)
+            left = pos(i, j - 1)
+            up_h = bound_h(-1, j) if i == 0 else (int(H[up]) if geometry.in_band(i - 1, j) else NEG_INF)
+            up_e = NEG_INF if i == 0 else (int(E[up]) if geometry.in_band(i - 1, j) else NEG_INF)
+            left_h = bound_h(i, -1) if j == 0 else (int(H[left]) if geometry.in_band(i, j - 1) else NEG_INF)
+            left_f = NEG_INF if j == 0 else (int(F[left]) if geometry.in_band(i, j - 1) else NEG_INF)
             if i == 0 or j == 0:
                 diag_h = bound_h(i - 1, j - 1)
             else:
-                diag_h = int(H[i - 1, j - 1]) if geometry.in_band(i - 1, j - 1) else NEG_INF
+                diag_h = int(H[pos(i - 1, j - 1)]) if geometry.in_band(i - 1, j - 1) else NEG_INF
 
             e_open, e_ext = up_h - open_cost, up_e - beta
             if e_open >= e_ext:
-                e_val, move_e[i, j] = e_open, _E_OPEN
+                e_val, move_e[here] = e_open, _E_OPEN
             else:
-                e_val, move_e[i, j] = e_ext, _E_EXT
+                e_val, move_e[here] = e_ext, _E_EXT
             f_open, f_ext = left_h - open_cost, left_f - beta
             if f_open >= f_ext:
-                f_val, move_f[i, j] = f_open, _F_OPEN
+                f_val, move_f[here] = f_open, _F_OPEN
             else:
-                f_val, move_f[i, j] = f_ext, _F_EXT
+                f_val, move_f[here] = f_ext, _F_EXT
             diag_val = diag_h + int(sub[ref[i], query[j]]) if diag_h > NEG_INF else NEG_INF
 
             e_val = max(e_val, NEG_INF)
             f_val = max(f_val, NEG_INF)
             h_val = max(diag_val, e_val, f_val, NEG_INF)
             if h_val == diag_val and diag_val > NEG_INF:
-                move_h[i, j] = _MOVE_DIAG
+                move_h[here] = _MOVE_DIAG
             elif h_val == e_val:
-                move_h[i, j] = _MOVE_E
+                move_h[here] = _MOVE_E
             elif h_val == f_val:
-                move_h[i, j] = _MOVE_F
+                move_h[here] = _MOVE_F
             else:
-                move_h[i, j] = _MOVE_NONE
-            H[i, j], E[i, j], F[i, j] = h_val, e_val, f_val
+                move_h[here] = _MOVE_NONE
+            H[here], E[here], F[here] = h_val, e_val, f_val
             cells += 1
             if h_val > local_best:
                 local_best, local_i, local_j = h_val, i, j
@@ -191,6 +238,17 @@ def traceback_align(
     # ------------------------------------------------------------------
     # walk back from the best cell
     # ------------------------------------------------------------------
+    def move_at(moves: np.ndarray, i: int, j: int) -> int:
+        """Move code of cell ``(i, j)``; out-of-band cells read as 0.
+
+        The dense layout stored untouched zeros outside the band, which
+        the walk relied on to stop; the band layout has no storage there,
+        so the default is made explicit (results are identical).
+        """
+        if not geometry.in_band(i, j):
+            return 0
+        return int(moves[pos(i, j)])
+
     ops: list[tuple[str, int]] = []
 
     def push(op: str, length: int = 1) -> None:
@@ -206,7 +264,7 @@ def traceback_align(
     state = "H"
     while i >= 0 and j >= 0:
         if state == "H":
-            move = move_h[i, j]
+            move = move_at(move_h, i, j)
             if move == _MOVE_DIAG:
                 push("=" if ref[i] == query[j] else "X")
                 i -= 1
@@ -219,12 +277,12 @@ def traceback_align(
                 break
         elif state == "E":
             # E consumes a reference base (deletion w.r.t. the query).
-            opened = move_e[i, j] == _E_OPEN
+            opened = move_at(move_e, i, j) == _E_OPEN
             push("D")
             i -= 1
             state = "H" if opened else "E"
         else:  # state == "F"
-            opened = move_f[i, j] == _F_OPEN
+            opened = move_at(move_f, i, j) == _F_OPEN
             push("I")
             j -= 1
             state = "H" if opened else "F"

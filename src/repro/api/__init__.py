@@ -18,6 +18,12 @@ Extension points (see DESIGN.md, "The public API layer"):
 * :func:`register_suite` -- new kernel line-ups, which automatically
   appear in ``python -m repro.bench --suites`` and in figure records.
 
+The online serving layer (:mod:`repro.serve`) is re-exported here too:
+:class:`ServeConfig` and :class:`AlignmentService` (reachable through
+:meth:`Session.serve`), the :class:`LoadGenerator`/:class:`RequestTrace`
+load-generation pair, and the :func:`replay` virtual-clock drain with
+its :func:`serve_bench_record` record builder.
+
 Everything exported here is covered by the public-API snapshot test
 (``tests/api/test_public_surface.py``) and the deprecation policy: old
 entry points keep working for one release as shims that emit a single
@@ -59,6 +65,14 @@ from repro.api.results import (
 from repro.api.compare import compare_suite
 from repro.api.session import Session
 
+# Serving layer (imported from concrete submodules so a direct
+# ``import repro.serve`` never races this package's initialisation).
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import LoadGenerator, RequestTrace
+from repro.serve.scheduler import ServeReport, replay
+from repro.serve.service import AlignmentService
+from repro.serve.telemetry import serve_bench_record
+
 __all__ = [
     # façade
     "Session",
@@ -86,6 +100,14 @@ __all__ = [
     # workflows
     "align_tasks",
     "compare_suite",
+    # serving
+    "ServeConfig",
+    "AlignmentService",
+    "ServeReport",
+    "LoadGenerator",
+    "RequestTrace",
+    "replay",
+    "serve_bench_record",
     # typed results
     "AlignmentOutcome",
     "MappingOutcome",

@@ -61,6 +61,8 @@ from repro.pipeline.experiment import DEFAULT_HARDWARE_SCALE, scaled_hardware
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bench.records import BenchRecord
     from repro.pipeline.mapper import LongReadMapper, ReadMapping
+    from repro.serve.config import ServeConfig
+    from repro.serve.service import AlignmentService
 
 __all__ = ["Session"]
 
@@ -317,6 +319,39 @@ class Session:
             cost=self.cost,
             cpu_aligner=cpu_aligner,
         )
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve(
+        self, config: Optional["ServeConfig"] = None, **overrides: Any
+    ) -> "AlignmentService":
+        """An online micro-batching service bound to this session's engine.
+
+        Without arguments the service inherits the session's engine and
+        effective batch size; pass a full
+        :class:`~repro.serve.config.ServeConfig` or keyword overrides
+        (``max_batch_size=``, ``max_wait_ms=``, ``workers=``, ...) for
+        the scheduling policy.  The returned
+        :class:`~repro.serve.service.AlignmentService` is not started
+        yet -- use it as a context manager (or call ``start()``)::
+
+            with session.serve(max_wait_ms=2.0) as svc:
+                future = svc.submit(task)
+
+        Served results are bit-identical to :meth:`align` on the same
+        tasks; batching changes scheduling, never arithmetic.
+        """
+        from repro.serve.config import ServeConfig
+        from repro.serve.service import AlignmentService
+
+        if config is None:
+            config = ServeConfig(
+                engine=self.engine, batch_size=self.effective_batch_size()
+            )
+        if overrides:
+            config = config.replace(**overrides)
+        return AlignmentService(config)
 
     # ------------------------------------------------------------------
     # figures

@@ -22,6 +22,13 @@ disables persistence entirely (workloads are rebuilt in memory).
 Writes are atomic (temp file + ``os.replace``), so concurrent workers
 racing to fill the same entry are benign: one of them wins and the rest
 overwrite the file with identical bytes.
+
+The cache is size-capped: when ``$REPRO_CACHE_MAX_BYTES`` (or an
+explicit ``max_bytes=``) is set, every store evicts least-recently-used
+entries -- oldest mtime first; loads touch their entry's mtime so a hit
+counts as use -- until the total drops under the cap.  Unset means
+unbounded, the historical behaviour.  ``python -m repro.bench
+--cache-info`` / ``--cache-clear`` inspect and reset the store.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ __all__ = [
     "WORKLOAD_VERSION",
     "default_cache_dir",
     "cache_enabled",
+    "cache_max_bytes",
     "spec_fingerprint",
     "build_workload",
     "WorkloadCache",
@@ -77,6 +85,22 @@ def default_cache_dir() -> Path:
 def cache_enabled() -> bool:
     """Whether persistence is enabled (``$REPRO_NO_CACHE`` disables it)."""
     return os.environ.get("REPRO_NO_CACHE", "") not in {"1", "true", "yes"}
+
+
+def cache_max_bytes() -> Optional[int]:
+    """The size cap from ``$REPRO_CACHE_MAX_BYTES`` (``None`` = unbounded).
+
+    Non-numeric or negative values disable the cap rather than erroring:
+    a misconfigured environment must never make benchmark runs fail.
+    """
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
 
 
 def spec_fingerprint(spec: DatasetSpec) -> str:
@@ -122,11 +146,22 @@ class WorkloadCache:
     enabled:
         When false (or ``$REPRO_NO_CACHE`` is set and ``enabled`` is left
         ``None``), nothing is read from or written to disk.
+    max_bytes:
+        Size cap for the workload store; stores evict least-recently-used
+        entries (by mtime) past it.  ``None`` defers to
+        ``$REPRO_CACHE_MAX_BYTES`` (resolved at use time), and an unset
+        environment means unbounded.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None, enabled: Optional[bool] = None):
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        enabled: Optional[bool] = None,
+        max_bytes: Optional[int] = None,
+    ):
         self._root = Path(root) if root is not None else None
         self._enabled = enabled
+        self._max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
 
@@ -138,6 +173,10 @@ class WorkloadCache:
     @property
     def enabled(self) -> bool:
         return cache_enabled() if self._enabled is None else self._enabled
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        return self._max_bytes if self._max_bytes is not None else cache_max_bytes()
 
     def path_for(self, spec: DatasetSpec) -> Path:
         """File that holds (or would hold) this spec's workload."""
@@ -183,6 +222,12 @@ class WorkloadCache:
             except OSError:
                 pass
             return None
+        # A hit counts as use: refresh the mtime so LRU eviction keeps
+        # hot entries and drops the ones no figure has read in a while.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return tasks
 
     def store(self, spec: DatasetSpec, tasks: Sequence[AlignmentTask]) -> Optional[Path]:
@@ -221,6 +266,7 @@ class WorkloadCache:
             except OSError:
                 pass
             raise
+        self.evict(keep=path)
         return path
 
     # ------------------------------------------------------------------
@@ -244,6 +290,57 @@ class WorkloadCache:
         tasks = tuple(builder(spec))
         self.store(spec, tasks)
         return tasks
+
+    def evict(self, keep: Optional[Path] = None) -> List[Path]:
+        """Enforce :attr:`max_bytes` now; returns the evicted files.
+
+        Entries leave oldest-mtime-first (loads touch their entry, so
+        this is LRU, not FIFO) until the store fits under the cap.
+        ``keep`` -- typically the entry just written -- is never evicted,
+        so a store can momentarily overshoot an undersized cap rather
+        than delete its own payload.  Unbounded caches are a no-op.
+        """
+        limit = self.max_bytes
+        if limit is None:
+            return []
+        entries = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path.name, path, stat.st_size))
+        total = sum(size for _, _, _, size in entries)
+        evicted: List[Path] = []
+        for _, _, path, size in sorted(entries):
+            if total <= limit:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted.append(path)
+        return evicted
+
+    def info(self) -> dict:
+        """Summary of the on-disk store (for ``--cache-info``)."""
+        entries = self.entries()
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": len(entries),
+            "total_bytes": total,
+            "max_bytes": self.max_bytes,
+        }
 
     def clear(self) -> int:
         """Remove every workload entry under this root; returns the count."""

@@ -91,6 +91,17 @@ def _run_parser() -> argparse.ArgumentParser:
         help="disable the persistent workload cache (rebuild in memory)",
     )
     parser.add_argument(
+        "--cache-info",
+        action="store_true",
+        help="print workload-cache statistics (location, entries, size cap) "
+        "and exit without running a figure",
+    )
+    parser.add_argument(
+        "--cache-clear",
+        action="store_true",
+        help="remove every cached workload and exit without running a figure",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress and table output"
     )
     return parser
@@ -145,11 +156,32 @@ def _extract_plugins(argv: Sequence[str]) -> Tuple[List[str], List[str]]:
     return remaining, modules
 
 
+def _cache_admin(args) -> int:
+    """Handle ``--cache-clear`` / ``--cache-info`` (no figure is run)."""
+    from repro.bench.cache import WorkloadCache
+
+    cache = WorkloadCache(args.cache_dir)
+    if args.cache_clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached workload(s) from {cache.root}")
+    if args.cache_info:
+        info = cache.info()
+        cap = "unbounded" if info["max_bytes"] is None else f"{info['max_bytes']} bytes"
+        print(f"cache root : {info['root']}")
+        print(f"enabled    : {info['enabled']}")
+        print(f"entries    : {info['entries']}")
+        print(f"total size : {info['total_bytes']} bytes")
+        print(f"size cap   : {cap} (REPRO_CACHE_MAX_BYTES)")
+    return 0
+
+
 def _run_main(argv: Sequence[str]) -> int:
     argv, plugins = _extract_plugins(argv)
     for module in plugins:
         import_module(module)
     args = _run_parser().parse_args(argv)
+    if args.cache_info or args.cache_clear:
+        return _cache_admin(args)
 
     def progress(done: int, total: int, cell: BenchCell) -> None:
         print(

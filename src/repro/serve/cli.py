@@ -1,0 +1,221 @@
+"""Command-line front end: ``python -m repro.serve``.
+
+Load-generates against one registry dataset's extension-task workload,
+drains the trace through the micro-batching scheduler, and -- unless
+``--no-baseline`` -- drains the *same* trace again with batching
+disabled (``max_batch_size=1``), so the printed speedup and the written
+``BENCH_serve.json`` record quantify exactly what micro-batching buys.
+
+The record reuses the figure-benchmark schema, so serving throughput is
+gated the same way figure speedups are::
+
+    python -m repro.serve --dataset ONT-HG002 --output BENCH_serve.json
+    python -m repro.bench compare benchmarks/serve_baseline.json BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.io.datasets import DATASET_REGISTRY
+from repro.serve.config import TIMING_MODES, ServeConfig
+from repro.serve.loadgen import LoadGenerator, RequestTrace
+from repro.serve.scheduler import ServeReport, replay
+from repro.serve.telemetry import serve_bench_record
+
+__all__ = ["main"]
+
+ARRIVAL_PROCESSES = ("poisson", "bursty", "replay")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Micro-batching alignment service: load generation, "
+        "latency telemetry and a gateable BENCH_serve.json record.",
+        allow_abbrev=False,
+    )
+    parser.add_argument(
+        "--dataset",
+        default="ONT-HG002",
+        choices=sorted(DATASET_REGISTRY),
+        help="registry dataset whose workload is served (default: ONT-HG002)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of requests (default: the workload size; larger values "
+        "cycle the workload)",
+    )
+    parser.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=ARRIVAL_PROCESSES,
+        help="arrival process (default: poisson)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        metavar="RPS",
+        help="arrival rate in requests/s; for bursty, the in-burst rate "
+        "(default: 500)",
+    )
+    parser.add_argument(
+        "--on-ms", type=float, default=50.0, help="bursty: ON-window length (default: 50)"
+    )
+    parser.add_argument(
+        "--off-ms", type=float, default=200.0, help="bursty: OFF-gap length (default: 200)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="arrival-process RNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--engine",
+        default="batch",
+        help="alignment engine from the repro.api registry (default: batch)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help="engine bucket size (default: the engine default)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="B",
+        help="most requests per dispatched batch (default: 32)",
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=4.0,
+        metavar="MS",
+        help="longest a request may wait for batch-mates (default: 4.0)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel batch executors in the queueing model (default: 1)",
+    )
+    parser.add_argument(
+        "--fifo",
+        action="store_true",
+        help="disable length-aware batch formation (plain FIFO batches)",
+    )
+    parser.add_argument(
+        "--timing",
+        default="measured",
+        choices=TIMING_MODES,
+        help="charge measured engine wall time or the deterministic model "
+        "(default: measured)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the batch-size-1 anchor drain (record then has no speedup)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="record file to write (default: BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="workload cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent workload cache (rebuild in memory)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the telemetry table"
+    )
+    return parser
+
+
+def _make_trace(generator: LoadGenerator, args: argparse.Namespace) -> RequestTrace:
+    if args.arrival == "poisson":
+        return generator.poisson(args.rate, args.requests, seed=args.seed)
+    if args.arrival == "bursty":
+        return generator.bursty(
+            args.rate, args.requests, on_ms=args.on_ms, off_ms=args.off_ms, seed=args.seed
+        )
+    return generator.replay(args.rate, args.requests)
+
+
+def _format_report(report: ServeReport) -> List[str]:
+    latency = report.telemetry["latency_ms"]
+    wait = report.telemetry["wait_ms"]
+    assert isinstance(latency, dict) and isinstance(wait, dict)
+    return [
+        f"[{report.policy}]",
+        f"  requests / batches    : {report.num_requests} / {report.telemetry['batches']}",
+        f"  mean batch occupancy  : {report.telemetry['mean_batch_occupancy']:.2f}",
+        f"  drain makespan        : {report.makespan_ms:.2f} ms",
+        f"  throughput            : {report.throughput_rps:.1f} req/s",
+        "  latency p50/p95/p99   : "
+        f"{latency['p50_ms']:.2f} / {latency['p95_ms']:.2f} / {latency['p99_ms']:.2f} ms",
+        f"  max queueing wait     : {wait['max_ms']:.2f} ms",
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _parser().parse_args(list(sys.argv[1:] if argv is None else argv))
+    try:
+        generator = LoadGenerator.from_dataset(
+            args.dataset,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+        )
+        trace = _make_trace(generator, args)
+        config = ServeConfig(
+            engine=args.engine,
+            batch_size=args.batch_size,
+            max_batch_size=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            workers=args.workers,
+            length_aware=not args.fifo,
+            timing=args.timing,
+        )
+        if not args.quiet:
+            print(
+                f"serving {len(trace)} requests of {trace.name} "
+                f"({trace.process} arrivals, ~{trace.offered_rate_rps:.0f} req/s offered)",
+                file=sys.stderr,
+            )
+        reports = [replay(trace, config, policy=config.policy_name)]
+        baseline = config.policy_name
+        # An anchor drain only makes sense when the main drain actually
+        # micro-batches; with --max-batch 1 the main drain IS the anchor.
+        if not args.no_baseline and config.max_batch_size > 1:
+            anchor_config = config.replace(max_batch_size=1)
+            reports.append(replay(trace, anchor_config, policy="batch1"))
+            baseline = "batch1"
+        record = serve_bench_record(reports, baseline=baseline)
+        path = record.save(args.output or record.default_filename)
+        if not args.quiet:
+            for report in reports:
+                print("\n".join(_format_report(report)))
+            if len(reports) == 2:
+                speedup = record.suites["serve"].speedups["microbatch"]["GeoMean"]
+                print(f"micro-batching speedup: {speedup:.2f}x over batch-size-1")
+        print(f"wrote {path}")
+        return 0
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2

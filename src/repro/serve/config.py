@@ -1,0 +1,109 @@
+"""Configuration of the micro-batching alignment service.
+
+One frozen dataclass carries every policy knob the scheduler, the live
+service and the CLI share, so a configuration can travel between the
+virtual-clock replay and the threaded service unchanged and both behave
+identically (same batches, same engine calls).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.align.batch import DEFAULT_BUCKET_SIZE
+
+__all__ = ["TIMING_MODES", "ServeConfig"]
+
+#: How batch service time is charged to the clock: ``"measured"`` times
+#: the real engine call, ``"modeled"`` uses the deterministic linear
+#: model of :func:`repro.serve.scheduler.modeled_service_ms`.
+TIMING_MODES = ("measured", "modeled")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Policy of one alignment service.
+
+    Parameters
+    ----------
+    engine:
+        Alignment engine name from the :mod:`repro.api` engine registry
+        (``"batch"`` by default, ``"scalar"`` for the oracle path).
+    batch_size:
+        Bucket size handed to the engine (``None`` keeps the engine
+        default).  This is the *engine's* internal SIMD bucket; the
+        scheduler's own batch bound is ``max_batch_size``.
+    max_batch_size:
+        Most requests one dispatched batch may carry.  ``1`` disables
+        micro-batching (every request is served alone -- the anchor the
+        serve benchmark compares against).
+    max_wait_ms:
+        Longest the scheduler may hold a request hoping for batch-mates.
+        Once the oldest pending request has waited this long, a batch is
+        cut even if it is not full.
+    workers:
+        Number of batch executors.  The replay scheduler models them as
+        parallel servers of a queueing system; the live service backs
+        them with a thread pool.
+    length_aware:
+        Form batches from requests of similar anti-diagonal count (via
+        :func:`repro.core.uneven_bucketing.length_bucket_order`) instead
+        of plain FIFO prefixes, so engine-side padding stays cheap.
+    timing:
+        ``"measured"`` (wall-clock the engine call) or ``"modeled"``
+        (deterministic cost model; replays become bit-reproducible).
+    model_overhead_ms, model_task_us, model_antidiag_us:
+        Parameters of the modeled service time: a fixed per-dispatch
+        overhead, a per-task cost, and a per-anti-diagonal cost charged
+        on the *longest* task of the batch (tasks of one batch sweep
+        together, which is exactly why batching amortises).
+    """
+
+    engine: str = "batch"
+    batch_size: Optional[int] = None
+    max_batch_size: int = 32
+    max_wait_ms: float = 4.0
+    workers: int = 1
+    length_aware: bool = True
+    timing: str = "measured"
+    model_overhead_ms: float = 0.25
+    model_task_us: float = 8.0
+    model_antidiag_us: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ValueError("batch_size must be positive when given")
+        if self.timing not in TIMING_MODES:
+            raise ValueError(
+                f"timing must be one of {TIMING_MODES}, got {self.timing!r}"
+            )
+        if self.model_overhead_ms < 0 or self.model_task_us < 0 or self.model_antidiag_us < 0:
+            raise ValueError("modeled-timing parameters must be non-negative")
+        # Fail fast on unknown engine names, mirroring Session's eager
+        # registry validation.  Imported lazily: the engine registry
+        # lives above this module in the import graph.
+        from repro.api.engines import get_engine
+
+        get_engine(self.engine)
+
+    # ------------------------------------------------------------------
+    def effective_batch_size(self) -> int:
+        """The engine bucket size this configuration actually uses."""
+        return self.batch_size if self.batch_size is not None else DEFAULT_BUCKET_SIZE
+
+    def replace(self, **changes: Any) -> "ServeConfig":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def policy_name(self) -> str:
+        """Default label for telemetry/records (``microbatch`` / ``batch1``)."""
+        return "microbatch" if self.max_batch_size > 1 else "batch1"

@@ -1,0 +1,167 @@
+"""Request queue and micro-batch formation policy.
+
+:class:`MicroBatcher` is the *pure* scheduling policy shared by the
+virtual-clock replay (:func:`repro.serve.scheduler.replay`) and the live
+threaded service (:class:`repro.serve.service.AlignmentService`).  It
+holds pending :class:`ServeRequest` objects in arrival order and answers
+two questions:
+
+* **when** to cut a batch -- as soon as ``max_batch_size`` requests are
+  pending, or once the oldest pending request has waited
+  ``max_wait_ms`` (no request is ever held longer hoping for
+  batch-mates); and
+* **which** requests ride together -- the length-aware policy reuses
+  :func:`repro.core.uneven_bucketing.length_bucket_order` over the
+  pending requests' anti-diagonal counts, then dispatches the bucket
+  containing the oldest request, so co-batched tasks have similar sweep
+  lengths and engine-side padding stays cheap.  (This is the serving
+  mirror of the batch engine's own bucketing; see DESIGN.md.)
+
+Because the policy object never touches clocks, threads or engines, the
+replay and the live service form *identical* batches for identical
+arrival sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.align.types import AlignmentResult, AlignmentTask
+from repro.core.uneven_bucketing import length_bucket_order
+
+__all__ = ["ServeRequest", "MicroBatcher"]
+
+
+@dataclass(eq=False)
+class ServeRequest:
+    """One align request travelling through the service.
+
+    Timestamps are in service-clock milliseconds (virtual for replays,
+    monotonic wall time for the live service); ``dispatch_ms`` /
+    ``completion_ms`` / ``result`` are filled in as the request
+    progresses.  Requests compare by identity (``eq=False``): two
+    submissions of the same task are distinct requests.
+    """
+
+    task: AlignmentTask
+    request_id: int
+    arrival_ms: float = 0.0
+    dispatch_ms: Optional[float] = None
+    completion_ms: Optional[float] = None
+    batch_occupancy: int = 0
+    result: Optional[AlignmentResult] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completion_ms is not None
+
+    @property
+    def wait_ms(self) -> float:
+        """Queueing delay: time between arrival and batch dispatch."""
+        if self.dispatch_ms is None:
+            raise ValueError(f"request {self.request_id} was never dispatched")
+        return self.dispatch_ms - self.arrival_ms
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency: time between arrival and completion."""
+        if self.completion_ms is None:
+            raise ValueError(f"request {self.request_id} never completed")
+        return self.completion_ms - self.arrival_ms
+
+    @property
+    def workload(self) -> int:
+        """Batch-formation workload estimate (anti-diagonal count)."""
+        return self.task.num_antidiagonals
+
+
+class MicroBatcher:
+    """Pending-request queue plus the batch-formation policy.
+
+    Requests must be added in arrival order (both drivers do); the
+    oldest pending request is therefore always at the front, which is
+    what makes :meth:`next_deadline_ms` O(1).
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int,
+        max_wait_ms: float,
+        *,
+        length_aware: bool = True,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.length_aware = bool(length_aware)
+        self._pending: List[ServeRequest] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> Tuple[ServeRequest, ...]:
+        """Snapshot of the queue (oldest first)."""
+        return tuple(self._pending)
+
+    def add(self, request: ServeRequest) -> None:
+        """Enqueue one request (callers add in arrival order)."""
+        self._pending.append(request)
+
+    # ------------------------------------------------------------------
+    # cut conditions
+    # ------------------------------------------------------------------
+    def size_ready(self) -> bool:
+        """A full batch is pending."""
+        return len(self._pending) >= self.max_batch_size
+
+    def next_deadline_ms(self) -> Optional[float]:
+        """Clock time at which the oldest pending request must dispatch."""
+        if not self._pending:
+            return None
+        return self._pending[0].arrival_ms + self.max_wait_ms
+
+    def ready(self, now_ms: float) -> bool:
+        """Whether a batch should be cut at ``now_ms``."""
+        if not self._pending:
+            return False
+        deadline = self.next_deadline_ms()
+        assert deadline is not None
+        return self.size_ready() or now_ms >= deadline
+
+    # ------------------------------------------------------------------
+    # batch selection
+    # ------------------------------------------------------------------
+    def form_batch(self, now_ms: float) -> List[ServeRequest]:
+        """Cut and return the next batch (empty when nothing pends).
+
+        The batch always contains the oldest pending request (the one
+        whose deadline forced the cut).  With ``length_aware`` and more
+        pending requests than fit, members are the oldest request's
+        length bucket; otherwise the FIFO prefix.  Dispatch time and
+        batch occupancy are stamped on every member.
+        """
+        if not self._pending:
+            return []
+        if self.length_aware and len(self._pending) > self.max_batch_size:
+            workloads = [request.workload for request in self._pending]
+            buckets = length_bucket_order(workloads, self.max_batch_size)
+            chosen = next(bucket for bucket in buckets if 0 in bucket)
+        else:
+            chosen = list(range(min(len(self._pending), self.max_batch_size)))
+        members = set(chosen)
+        batch = [self._pending[index] for index in chosen]
+        self._pending = [
+            request
+            for index, request in enumerate(self._pending)
+            if index not in members
+        ]
+        for request in batch:
+            request.dispatch_ms = now_ms
+            request.batch_occupancy = len(batch)
+        return batch

@@ -1,0 +1,200 @@
+"""Virtual-clock replay of the micro-batching service.
+
+:func:`replay` drains a :class:`~repro.serve.loadgen.RequestTrace`
+through the :class:`~repro.serve.queueing.MicroBatcher` policy as a
+discrete-event simulation: a virtual clock advances from arrival to
+dispatch to completion, ``config.workers`` parallel servers are modeled
+as a bank of busy-until times, and every formed batch is executed **for
+real** through the configured :mod:`repro.api` engine (results are the
+point of serving; only *time* is simulated).
+
+Two timing sources:
+
+``timing="measured"``
+    The engine call is wall-clocked and that duration is charged to the
+    virtual clock -- an offline load test of the real engine, which is
+    what the serve benchmark records.
+``timing="modeled"``
+    Service time comes from :func:`modeled_service_ms`, a deterministic
+    linear model; the entire drain (batches, timestamps, telemetry)
+    becomes a pure function of the trace and the configuration.  The
+    scheduler-invariant tests run in this mode: *no request waits past
+    ``max_wait_ms`` in virtual time* while a server is idle.
+
+The event loop has one rule worth stating: a batch is dispatched at
+``t = max(worker-free time, ready time)`` where ready is "queue reached
+``max_batch_size``" or "oldest pending request hit its deadline" --
+unless an earlier arrival would change the picture, in which case the
+clock advances to that arrival first.  Ties (an arrival at exactly the
+dispatch time) resolve in favour of dispatching, so a request never
+waits on a same-instant arrival.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.align.types import AlignmentResult, AlignmentTask
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import RequestTrace
+from repro.serve.queueing import MicroBatcher, ServeRequest
+from repro.serve.telemetry import TelemetrySink
+
+__all__ = ["ServeReport", "modeled_service_ms", "replay"]
+
+_INF = float("inf")
+
+#: Signature of an injectable service-time model: batch tasks -> ms.
+ServiceTime = Callable[[Sequence[AlignmentTask]], float]
+
+
+def modeled_service_ms(tasks: Sequence[AlignmentTask], config: ServeConfig) -> float:
+    """Deterministic service time of one batch under ``config``'s model.
+
+    A fixed dispatch overhead, a per-task cost, and a per-anti-diagonal
+    cost charged once on the *longest* task -- tasks of one batch sweep
+    together, so the sweep length is the batch maximum.  The shape
+    mirrors why micro-batching wins: overhead and sweep cost amortise
+    over the batch, only the per-task term scales.
+    """
+    if not tasks:
+        return 0.0
+    longest = max(task.num_antidiagonals for task in tasks)
+    return (
+        config.model_overhead_ms
+        + config.model_task_us * len(tasks) / 1000.0
+        + config.model_antidiag_us * longest / 1000.0
+    )
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Outcome of one drain: stamped requests, makespan and telemetry."""
+
+    policy: str
+    workload: str
+    config: ServeConfig
+    requests: Tuple[ServeRequest, ...]
+    makespan_ms: float
+    telemetry: Dict[str, object]
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of virtual drain time."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.num_requests / self.makespan_ms * 1000.0
+
+    def results(self) -> List[AlignmentResult]:
+        """Alignment results in submission (request-id) order."""
+        out: List[AlignmentResult] = []
+        for request in self.requests:
+            if request.result is None:
+                raise ValueError(f"request {request.request_id} has no result")
+            out.append(request.result)
+        return out
+
+    def scores(self) -> List[int]:
+        return [result.score for result in self.results()]
+
+
+def replay(
+    trace: RequestTrace,
+    config: Optional[ServeConfig] = None,
+    *,
+    policy: Optional[str] = None,
+    service_time: Optional[ServiceTime] = None,
+) -> ServeReport:
+    """Drain ``trace`` through the service policy on a virtual clock.
+
+    ``service_time`` overrides the timing mode with an arbitrary model
+    (tests use constants); otherwise ``config.timing`` picks measured or
+    modeled durations.  Results are bit-identical to scoring the trace's
+    tasks directly with the configured engine -- batching never changes
+    the arithmetic.
+    """
+    config = config or ServeConfig()
+    from repro.api.engines import get_engine
+
+    engine = get_engine(config.engine)
+    engine_bucket = config.effective_batch_size()
+
+    requests = trace.requests()
+    queue = deque(sorted(requests, key=lambda r: (r.arrival_ms, r.request_id)))
+    batcher = MicroBatcher(
+        config.max_batch_size, config.max_wait_ms, length_aware=config.length_aware
+    )
+    workers = [0.0] * config.workers
+    sink = TelemetrySink()
+    now = 0.0
+    makespan_end = 0.0
+
+    def admit_until(limit_ms: float) -> None:
+        while queue and queue[0].arrival_ms <= limit_ms:
+            batcher.add(queue.popleft())
+            sink.record_queue_depth(len(batcher))
+
+    while queue or len(batcher):
+        next_arrival = queue[0].arrival_ms if queue else _INF
+        if not len(batcher):
+            now = max(now, next_arrival)
+            admit_until(now)
+            continue
+        free_at = min(workers)
+        if batcher.size_ready():
+            dispatch_at = max(now, free_at)
+        else:
+            deadline = batcher.next_deadline_ms()
+            assert deadline is not None
+            dispatch_at = max(deadline, free_at)
+        if next_arrival < dispatch_at:
+            # An arrival precedes the would-be dispatch and may fill the
+            # batch (or become its length-mate); admit it first.
+            now = next_arrival
+            admit_until(now)
+            continue
+        now = max(now, dispatch_at)
+        batch = batcher.form_batch(now)
+        tasks = [request.task for request in batch]
+        if service_time is not None:
+            results = engine(tasks, batch_size=engine_bucket)
+            duration = float(service_time(tasks))
+        elif config.timing == "modeled":
+            results = engine(tasks, batch_size=engine_bucket)
+            duration = modeled_service_ms(tasks, config)
+        else:
+            started = time.perf_counter()
+            results = engine(tasks, batch_size=engine_bucket)
+            duration = (time.perf_counter() - started) * 1000.0
+        if len(results) != len(batch):
+            raise ValueError(
+                f"engine {config.engine!r} returned {len(results)} results "
+                f"for a batch of {len(batch)} tasks"
+            )
+        if duration < 0:
+            raise ValueError("service time must be non-negative")
+        slot = workers.index(free_at)
+        workers[slot] = now + duration
+        completion = now + duration
+        makespan_end = max(makespan_end, completion)
+        sink.record_batch(len(batch))
+        for request, result in zip(batch, results):
+            request.result = result
+            request.completion_ms = completion
+            sink.record_request(request.wait_ms, request.latency_ms)
+
+    return ServeReport(
+        policy=policy if policy is not None else config.policy_name,
+        workload=trace.name,
+        config=config,
+        requests=tuple(requests),
+        makespan_ms=makespan_end,
+        telemetry=sink.summary(),
+    )

@@ -1,0 +1,247 @@
+"""Latency / throughput telemetry of the alignment service.
+
+The sink collects three kinds of samples while a drain runs -- queue
+depth (sampled at every arrival), batch occupancy (one sample per
+dispatched batch) and per-request wait / end-to-end latency -- and
+renders them as a versioned summary dict (``SERVE_SCHEMA_VERSION``).
+Percentiles use the nearest-rank definition on sorted samples, so a
+summary is a pure function of the sample multiset: deterministic
+replays produce bit-identical telemetry.
+
+:func:`serve_bench_record` folds one or more
+:class:`~repro.serve.scheduler.ServeReport` objects into the same
+versioned :class:`~repro.bench.records.BenchRecord` format the figure
+benchmarks use (``BENCH_serve.json``): each serving policy becomes a
+"kernel" row whose ``speedup_vs_cpu`` is its throughput relative to the
+batch-size-1 anchor, so ``python -m repro.bench compare`` gates serving
+regressions exactly like figure regressions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.records import BenchRecord
+    from repro.serve.scheduler import ServeReport
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION",
+    "percentile",
+    "LatencySummary",
+    "TelemetrySink",
+    "serve_bench_record",
+]
+
+#: Version of the telemetry summary layout (stamped into every summary
+#: and into the ``BENCH_serve.json`` environment block).  Bump when the
+#: keys below change incompatibly.
+SERVE_SCHEMA_VERSION = 1
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Deterministic and interpolation-free: the returned value is always
+    one of the samples, which keeps modeled-timing replays bit-stable.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if not values:
+        raise ValueError("percentile of an empty sample set")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Five-number summary of one latency-like sample set (milliseconds)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        if not values:
+            return cls(count=0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, max_ms=0.0)
+        return cls(
+            count=len(values),
+            mean_ms=float(sum(values) / len(values)),
+            p50_ms=percentile(values, 50.0),
+            p95_ms=percentile(values, 95.0),
+            p99_ms=percentile(values, 99.0),
+            max_ms=float(max(values)),
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+class TelemetrySink:
+    """Accumulates serving samples and renders the versioned summary."""
+
+    def __init__(self) -> None:
+        self.wait_ms: List[float] = []
+        self.latency_ms: List[float] = []
+        self.queue_depths: List[int] = []
+        self.batch_occupancy: Counter = Counter()
+        self.num_batches = 0
+
+    # ------------------------------------------------------------------
+    def record_queue_depth(self, depth: int) -> None:
+        """Sample the pending-queue depth (taken at each arrival)."""
+        self.queue_depths.append(int(depth))
+
+    def record_batch(self, occupancy: int) -> None:
+        """Record one dispatched batch of ``occupancy`` requests."""
+        self.batch_occupancy[int(occupancy)] += 1
+        self.num_batches += 1
+
+    def record_request(self, wait_ms: float, latency_ms: float) -> None:
+        """Record one completed request's wait and end-to-end latency."""
+        self.wait_ms.append(float(wait_ms))
+        self.latency_ms.append(float(latency_ms))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.latency_ms)
+
+    def mean_occupancy(self) -> float:
+        """Average number of requests per dispatched batch."""
+        total = sum(size * count for size, count in self.batch_occupancy.items())
+        return total / self.num_batches if self.num_batches else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """The versioned telemetry summary (pure function of the samples)."""
+        return {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "requests": self.num_requests,
+            "batches": self.num_batches,
+            "mean_batch_occupancy": self.mean_occupancy(),
+            "batch_occupancy": {
+                str(size): count for size, count in sorted(self.batch_occupancy.items())
+            },
+            "queue_depth": {
+                "mean": (
+                    sum(self.queue_depths) / len(self.queue_depths)
+                    if self.queue_depths
+                    else 0.0
+                ),
+                "max": max(self.queue_depths, default=0),
+            },
+            "wait_ms": LatencySummary.from_values(self.wait_ms).to_dict(),
+            "latency_ms": LatencySummary.from_values(self.latency_ms).to_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# BENCH_serve.json assembly
+# ----------------------------------------------------------------------
+def serve_bench_record(
+    reports: Sequence["ServeReport"],
+    *,
+    baseline: str = "batch1",
+    figure: str = "serve",
+) -> "BenchRecord":
+    """Fold serve reports into one gateable :class:`BenchRecord`.
+
+    Every report contributes one (workload x policy) cell under a single
+    ``"serve"`` suite; ``time_ms`` is the drain makespan and
+    ``speedup_vs_cpu`` the throughput ratio against the ``baseline``
+    policy on the same workload (the baseline itself anchors at 1.0, and
+    its makespan fills ``cpu_time_ms`` -- the anchor slot of the record
+    schema).  Telemetry summaries ride in the environment block under
+    ``"serve"``.
+    """
+    # Imported lazily: repro.bench's package __init__ reaches repro.api,
+    # which re-exports this module -- a module-level import would race
+    # whichever package the caller imported first.
+    from repro.bench.records import (
+        BenchRecord,
+        CellRecord,
+        SuiteRecord,
+        environment_metadata,
+    )
+
+    if not reports:
+        raise ValueError("serve_bench_record needs at least one report")
+    by_key: Dict[tuple, "ServeReport"] = {}
+    workloads: List[str] = []
+    policies: List[str] = []
+    for report in reports:
+        key = (report.workload, report.policy)
+        if key in by_key:
+            raise ValueError(f"duplicate report for workload/policy {key!r}")
+        by_key[key] = report
+        if report.workload not in workloads:
+            workloads.append(report.workload)
+        if report.policy not in policies:
+            policies.append(report.policy)
+    anchors: Mapping[str, "ServeReport"] = {
+        workload: by_key[(workload, baseline)]
+        for workload in workloads
+        if (workload, baseline) in by_key
+    }
+    if len(anchors) != len(workloads):
+        missing = [w for w in workloads if w not in anchors]
+        raise ValueError(
+            f"baseline policy {baseline!r} has no report for workload(s) {missing}"
+        )
+
+    from repro.pipeline.experiment import geometric_mean
+
+    suite = SuiteRecord(suite="serve")
+    telemetry: Dict[str, Dict[str, object]] = {}
+    for policy in policies:
+        row: Dict[str, float] = {}
+        for workload in workloads:
+            report = by_key.get((workload, policy))
+            if report is None:
+                continue
+            anchor = anchors[workload]
+            speedup = (
+                anchor.makespan_ms / report.makespan_ms if report.makespan_ms > 0 else 0.0
+            )
+            row[workload] = speedup
+            suite.cells.append(
+                CellRecord(
+                    dataset=workload,
+                    kernel=policy,
+                    time_ms=report.makespan_ms,
+                    speedup_vs_cpu=speedup,
+                )
+            )
+            telemetry.setdefault(policy, {})[workload] = report.telemetry
+        row["GeoMean"] = geometric_mean(list(row.values()))
+        suite.speedups[policy] = row
+    for workload in workloads:
+        suite.cpu_time_ms[workload] = anchors[workload].makespan_ms
+    sample = reports[0]
+    return BenchRecord(
+        figure=figure,
+        datasets=list(workloads),
+        suites={"serve": suite},
+        environment=environment_metadata(
+            serve_schema_version=SERVE_SCHEMA_VERSION,
+            baseline_policy=baseline,
+            engine=sample.config.engine,
+            timing=sample.config.timing,
+            serve=telemetry,
+        ),
+    )

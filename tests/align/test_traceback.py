@@ -2,10 +2,11 @@
 
 import numpy as np
 
+from repro.align.banding import BandGeometry
 from repro.align.scoring import ScoringScheme, preset
 from repro.align.sequence import encode, mutate, random_sequence
 from repro.align.antidiagonal import antidiagonal_align
-from repro.align.traceback import Cigar, traceback_align
+from repro.align.traceback import Cigar, _band_storage_shape, traceback_align
 
 
 SCHEME = ScoringScheme(match=2, mismatch=4, gap_open=4, gap_extend=2)
@@ -59,6 +60,39 @@ class TestTraceback:
         tb = traceback_align(encode(""), encode("ACG"), SCHEME)
         assert tb.cigar.operations == ()
         assert tb.result.score == 0
+
+    def test_band_and_dense_storage_are_identical(self):
+        """Band-limited matrices must not change a single in-band result:
+        same scores, same CIGARs, same end coordinates, every time."""
+        rng = np.random.default_rng(7)
+        for trial in range(25):
+            n = int(rng.integers(5, 160))
+            ref = random_sequence(n, rng)
+            if trial % 4 == 3:
+                query = random_sequence(int(rng.integers(5, 160)), rng)
+            else:
+                query = mutate(
+                    ref, rng, substitution_rate=0.08, insertion_rate=0.04, deletion_rate=0.04
+                )
+            scheme = preset(
+                "map-ont",
+                band_width=int(rng.choice([0, 5, 17, 33, 64])),
+                zdrop=int(rng.choice([0, 50, 120])),
+            )
+            dense = traceback_align(ref, query, scheme, _band_storage=False)
+            banded = traceback_align(ref, query, scheme, _band_storage=True)
+            assert dense.result == banded.result
+            assert dense.cigar == banded.cigar
+            assert (dense.ref_end, dense.query_end) == (banded.ref_end, banded.query_end)
+
+    def test_band_storage_shape_scales_with_band_not_reference(self):
+        narrow = BandGeometry(5000, 4800, 17)
+        assert _band_storage_shape(narrow) == ((4800, 17), True)
+        unbanded = BandGeometry(100, 80, 0)
+        assert _band_storage_shape(unbanded) == ((100, 80), False)
+        # A band at least as wide as the reference gains nothing: dense.
+        wide = BandGeometry(30, 30, 64)
+        assert _band_storage_shape(wide) == ((30, 30), False)
 
     def test_path_reproduces_query_from_ref(self):
         # Walking the CIGAR over the reference must regenerate the query

@@ -158,3 +158,75 @@ class TestConfiguration:
         tmp_cache.tasks(tiny_spec)
         assert tmp_cache.clear() == 1
         assert tmp_cache.entries() == []
+
+    def test_info(self, tiny_spec, tmp_cache):
+        tmp_cache.tasks(tiny_spec)
+        info = tmp_cache.info()
+        assert info["entries"] == 1
+        assert info["total_bytes"] > 0
+        assert info["enabled"] is True
+        assert info["max_bytes"] is None
+        assert info["root"] == str(tmp_cache.root)
+
+
+class TestLruEviction:
+    def _fill(self, cache, count):
+        """Store ``count`` distinct workloads with strictly ordered mtimes."""
+        import os
+
+        specs = [make_spec(name=f"tiny-lru-{i}", seed=i) for i in range(count)]
+        for stamp, spec in enumerate(specs):
+            cache.store(spec, cache_mod.build_workload(spec))
+            # Deterministic mtime ordering without sleeping.
+            os.utime(cache.path_for(spec), (1000.0 + stamp, 1000.0 + stamp))
+        return specs
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = WorkloadCache(tmp_path / "c", enabled=True)
+        self._fill(cache, 3)
+        assert cache.evict() == []
+        assert len(cache.entries()) == 3
+
+    def test_store_evicts_oldest_first(self, tmp_path):
+        cache = WorkloadCache(tmp_path / "c", enabled=True)
+        self._fill(cache, 3)
+        per_entry = cache.info()["total_bytes"] // 3
+        capped = WorkloadCache(tmp_path / "c", enabled=True, max_bytes=2 * per_entry)
+        newest = make_spec(name="tiny-lru-new", seed=99)
+        capped.store(newest, cache_mod.build_workload(newest))
+        remaining = [p.name for p in capped.entries()]
+        # The new store itself survives; the oldest entries made room.
+        assert any(name.startswith("tiny-lru-new") for name in remaining)
+        assert not any(name.startswith("tiny-lru-0-") for name in remaining)
+
+    def test_load_touches_entry_lru_not_fifo(self, tmp_path):
+        cache = WorkloadCache(tmp_path / "c", enabled=True)
+        specs = self._fill(cache, 3)
+        per_entry = cache.info()["total_bytes"] // 3
+        capped = WorkloadCache(tmp_path / "c", enabled=True, max_bytes=2 * per_entry)
+        # Hit the oldest entry: it becomes most-recently-used ...
+        assert capped.load(specs[0]) is not None
+        evicted = capped.evict()
+        # ... so eviction removes tiny-lru-1 (now the LRU), not tiny-lru-0.
+        assert [p.name.startswith("tiny-lru-1-") for p in evicted] == [True]
+        assert capped.load(specs[0]) is not None
+        assert capped.load(specs[1]) is None
+
+    def test_keep_protects_fresh_store_from_tiny_caps(self, tmp_path):
+        cache = WorkloadCache(tmp_path / "c", enabled=True, max_bytes=1)
+        spec = make_spec(name="tiny-lru-keep", seed=5)
+        cache.store(spec, cache_mod.build_workload(spec))
+        # Cap is absurdly small, but the just-written entry survives.
+        assert cache.load(spec) is not None
+
+    def test_env_cap_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert cache_mod.cache_max_bytes() == 12345
+        assert WorkloadCache("anywhere").max_bytes == 12345
+        assert WorkloadCache("anywhere", max_bytes=7).max_bytes == 7
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "not-a-number")
+        assert cache_mod.cache_max_bytes() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "-5")
+        assert cache_mod.cache_max_bytes() is None
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES")
+        assert cache_mod.cache_max_bytes() is None

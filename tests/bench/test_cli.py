@@ -126,6 +126,36 @@ class TestRunMode:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCacheAdmin:
+    def test_cache_info_reports_without_running(self, tmp_path, capsys):
+        from repro.bench.cache import WorkloadCache
+
+        cache = WorkloadCache(tmp_path / "c", enabled=True)
+        cache.tasks(make_spec())
+        assert main(["--cache-info", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 1" in out
+        assert "REPRO_CACHE_MAX_BYTES" in out
+        assert "wrote" not in out  # no figure ran
+
+    def test_cache_clear_empties_the_store(self, tmp_path, capsys):
+        from repro.bench.cache import WorkloadCache
+
+        cache = WorkloadCache(tmp_path / "c", enabled=True)
+        cache.tasks(make_spec())
+        assert main(["--cache-clear", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "removed 1 cached workload(s)" in capsys.readouterr().out
+        assert cache.entries() == []
+
+    def test_cache_clear_then_info_combined(self, tmp_path, capsys):
+        assert main(
+            ["--cache-clear", "--cache-info", "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 cached workload(s)" in out
+        assert "entries    : 0" in out
+
+
 class TestCompareMode:
     def _write_records(self, tmp_path, drop: float = 0.0):
         base = {

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core.uneven_bucketing import (
     assign_tasks_to_warps,
+    length_bucket_order,
     original_order,
     sorted_order,
     uneven_bucketing_order,
@@ -53,6 +54,67 @@ class TestUnevenBucketing:
     def test_invalid_subwarps(self):
         with pytest.raises(ValueError):
             uneven_bucketing_order([1.0], 0)
+
+
+class TestLengthBucketOrder:
+    @given(
+        workloads=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=80),
+        bucket_size=st.sampled_from([1, 3, 8, 64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_is_a_permutation(self, workloads, bucket_size):
+        buckets = length_bucket_order(workloads, bucket_size)
+        flat = [i for b in buckets for i in b]
+        assert sorted(flat) == list(range(len(workloads)))
+        assert all(0 < len(b) <= bucket_size for b in buckets)
+
+    @given(workloads=st.lists(st.floats(1.0, 100.0), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_buckets_are_descending(self, workloads):
+        flat = [i for b in length_bucket_order(workloads, 4) for i in b]
+        values = [workloads[i] for i in flat]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_bucket_size(self):
+        with pytest.raises(ValueError):
+            length_bucket_order([1.0], 0)
+
+
+class TestDeterminismUnderTies:
+    """The orders are pure functions; ties break by input position
+    (stable sort), so repeated calls and tied workloads cannot shuffle."""
+
+    tied = st.lists(st.sampled_from([1.0, 2.0, 4.0]), min_size=1, max_size=60)
+
+    @given(workloads=tied, bucket_size=st.sampled_from([1, 4, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_length_bucket_order_is_deterministic(self, workloads, bucket_size):
+        first = length_bucket_order(workloads, bucket_size)
+        assert first == length_bucket_order(list(workloads), bucket_size)
+
+    @given(workloads=tied, n=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_uneven_bucketing_order_is_deterministic(self, workloads, n):
+        first = uneven_bucketing_order(workloads, n)
+        assert first == uneven_bucketing_order(list(workloads), n)
+
+    def test_ties_keep_input_order(self):
+        # All-equal workloads: the "sort" must be the identity, so the
+        # buckets are plain consecutive chunks.
+        workloads = [3.0] * 10
+        assert length_bucket_order(workloads, 4) == [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+            [8, 9],
+        ]
+        buckets = uneven_bucketing_order(workloads, 4)
+        # The "long" tasks are the first ceil(10/4) = 3 by input position.
+        assert [b[0] for b in buckets] == [0, 1, 2]
+
+    @given(workloads=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_order_is_a_permutation(self, workloads):
+        assert sorted(sorted_order(workloads)) == list(range(len(workloads)))
 
 
 class TestAssignTasksToWarps:

@@ -1,0 +1,19 @@
+"""Shared fixtures for the repro.serve test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import LoadGenerator
+
+from serve_workloads import make_serve_tasks
+
+
+@pytest.fixture
+def serve_tasks():
+    return make_serve_tasks()
+
+
+@pytest.fixture
+def generator(serve_tasks) -> LoadGenerator:
+    return LoadGenerator(serve_tasks, name="tiny-serve", seed=3)

@@ -1,0 +1,30 @@
+"""Tiny synthetic task workloads shared by the repro.serve tests.
+
+Deliberately small (a couple dozen short related pairs) so the serve
+suite -- batcher policy, virtual-clock replays, the live threaded
+service -- runs in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import preset
+from repro.align.sequence import mutate, random_sequence
+from repro.align.types import AlignmentTask
+
+SERVE_SCHEME = preset("map-ont", band_width=16, zdrop=100)
+
+
+def make_serve_tasks(seed: int = 5, count: int = 24, min_len: int = 40, max_len: int = 220):
+    """A mixed batch of related pairs with a spread of lengths."""
+    rng = np.random.default_rng(seed)
+    tasks = []
+    for t in range(count):
+        n = int(rng.integers(min_len, max_len))
+        ref = random_sequence(n, rng)
+        query = mutate(
+            ref, rng, substitution_rate=0.06, insertion_rate=0.02, deletion_rate=0.02
+        )
+        tasks.append(AlignmentTask(ref=ref, query=query, scoring=SERVE_SCHEME, task_id=t))
+    return tasks

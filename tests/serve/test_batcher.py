@@ -1,0 +1,123 @@
+"""Micro-batch formation policy: cut conditions and member selection."""
+
+import pytest
+
+from repro.serve import MicroBatcher, ServeRequest
+
+from serve_workloads import make_serve_tasks
+
+
+def _requests(tasks, arrivals=None):
+    arrivals = arrivals or [0.0] * len(tasks)
+    return [
+        ServeRequest(task=task, request_id=i, arrival_ms=arrivals[i])
+        for i, task in enumerate(tasks)
+    ]
+
+
+class TestCutConditions:
+    def test_empty_batcher_is_never_ready(self):
+        batcher = MicroBatcher(4, 10.0)
+        assert not batcher.ready(1e9)
+        assert batcher.next_deadline_ms() is None
+        assert batcher.form_batch(0.0) == []
+
+    def test_size_trigger(self):
+        tasks = make_serve_tasks(count=4)
+        batcher = MicroBatcher(4, 1000.0)
+        for request in _requests(tasks[:3]):
+            batcher.add(request)
+        assert not batcher.ready(0.0)  # neither full nor expired
+        batcher.add(ServeRequest(task=tasks[3], request_id=3, arrival_ms=0.0))
+        assert batcher.size_ready() and batcher.ready(0.0)
+
+    def test_deadline_trigger(self):
+        tasks = make_serve_tasks(count=1)
+        batcher = MicroBatcher(8, 5.0)
+        batcher.add(ServeRequest(task=tasks[0], request_id=0, arrival_ms=2.0))
+        assert batcher.next_deadline_ms() == 7.0
+        assert not batcher.ready(6.999)
+        assert batcher.ready(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(0, 1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(4, -1.0)
+
+
+class TestBatchSelection:
+    def test_fifo_prefix_when_queue_fits(self):
+        tasks = make_serve_tasks(count=6)
+        batcher = MicroBatcher(8, 1.0)
+        requests = _requests(tasks)
+        for request in requests:
+            batcher.add(request)
+        batch = batcher.form_batch(3.0)
+        assert batch == requests
+        assert len(batcher) == 0
+
+    def test_fifo_mode_takes_prefix_when_oversubscribed(self):
+        tasks = make_serve_tasks(count=10)
+        batcher = MicroBatcher(4, 1.0, length_aware=False)
+        requests = _requests(tasks)
+        for request in requests:
+            batcher.add(request)
+        batch = batcher.form_batch(0.0)
+        assert batch == requests[:4]
+        assert list(batcher.pending) == requests[4:]
+
+    def test_length_aware_groups_similar_antidiagonal_counts(self):
+        # Two widely separated length groups; the oldest request is short,
+        # so its batch must consist of short tasks only.
+        short = make_serve_tasks(seed=1, count=6, min_len=40, max_len=60)
+        long = make_serve_tasks(seed=2, count=6, min_len=1500, max_len=1800)
+        interleaved = [t for pair in zip(short, long) for t in pair]
+        requests = _requests(interleaved)
+        batcher = MicroBatcher(6, 1.0)
+        for request in requests:
+            batcher.add(request)
+        batch = batcher.form_batch(5.0)
+        assert requests[0] in batch  # the oldest always rides
+        assert all(r.task.num_antidiagonals < 200 for r in batch)
+        # Nothing lost, nothing duplicated.
+        leftover = list(batcher.pending)
+        assert sorted(r.request_id for r in batch + leftover) == list(range(12))
+
+    def test_batch_always_contains_oldest(self):
+        # Oldest is one of the *long* tasks: the chosen length bucket must
+        # then be the long one even though short tasks also pend.
+        long = make_serve_tasks(seed=2, count=3, min_len=1500, max_len=1800)
+        short = make_serve_tasks(seed=1, count=6, min_len=40, max_len=60)
+        requests = _requests(long + short)
+        batcher = MicroBatcher(3, 1.0)
+        for request in requests:
+            batcher.add(request)
+        batch = batcher.form_batch(2.0)
+        assert requests[0] in batch
+        assert all(r.task.num_antidiagonals > 1000 for r in batch)
+
+    def test_dispatch_stamps(self):
+        tasks = make_serve_tasks(count=3)
+        batcher = MicroBatcher(8, 1.0)
+        for request in _requests(tasks):
+            batcher.add(request)
+        batch = batcher.form_batch(42.5)
+        for request in batch:
+            assert request.dispatch_ms == 42.5
+            assert request.batch_occupancy == 3
+
+
+class TestServeRequest:
+    def test_timing_properties(self):
+        task = make_serve_tasks(count=1)[0]
+        request = ServeRequest(task=task, request_id=0, arrival_ms=10.0)
+        with pytest.raises(ValueError):
+            request.wait_ms
+        with pytest.raises(ValueError):
+            request.latency_ms
+        request.dispatch_ms = 12.5
+        request.completion_ms = 20.0
+        assert request.wait_ms == 2.5
+        assert request.latency_ms == 10.0
+        assert request.done

@@ -26,6 +26,7 @@ def test_examples_discovered():
         "read_mapping.py",
         "kernel_comparison.py",
         "bwamem_alignment.py",
+        "serve_demo.py",
     } <= names
 
 
