@@ -84,6 +84,7 @@ _EXPORTS = {
     "RequestTrace": "repro.api",
     "replay": "repro.api",
     "serve_bench_record": "repro.api",
+    "engine_bench_record": "repro.api",
     # records (the run_figure return type)
     "BenchRecord": "repro.bench.records",
 }
@@ -113,6 +114,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
         compare_suite,
         replay,
         serve_bench_record,
+        engine_bench_record,
         engine_names,
         get_engine,
         get_kernel,

@@ -34,22 +34,54 @@ band widths and ragged buckets.
 Termination is vectorised as well: every task carries its own Z-drop /
 X-drop parameters, and a task whose condition fires simply drops out of
 the active lane mask while the rest of its bucket keeps sweeping.
+
+Sliced sweeping and lane compaction
+-----------------------------------
+Masking a terminated task hides its lanes from the arithmetic but not
+from the *buffers*: the dense sweep keeps carrying the task's rows in
+every ``(tasks x lanes)`` operation until the whole bucket finishes, so
+a bucket whose longest task runs far past everyone else's termination
+point pays full-width matrix traffic the whole way.  Passing
+``slice_width=`` to :func:`batch_align` turns on the data-parallel
+analogue of the paper's two scheduling ideas:
+
+* the sweep is cut into *slices* of ``slice_width`` anti-diagonals using
+  the same slice geometry as the GPU-side simulator
+  (:func:`repro.core.sliced_diagonal.slice_ranges`), so a terminated
+  task occupies its lanes for at most one more slice -- bounded
+  run-ahead of the buffer occupancy past the termination point
+  (Section 4.2);
+* at every slice boundary, terminated and completed tasks are
+  *compacted* out of the struct-of-arrays buffers: survivors are
+  re-packed into fewer rows and the lane axis shrinks to the widest
+  surviving band -- freed width is reclaimed by the rest of the bucket,
+  the SIMD mirror of subwarp rejoining (Section 4.3).
+
+The termination condition itself is still evaluated every
+anti-diagonal, exactly like the dense sweep, so scores, maximum cells,
+termination anti-diagonals, work counters and profiles stay bit-identical
+to the scalar oracle; only the buffer bookkeeping -- and therefore the
+wall-clock -- changes.  ``tests/align/test_sliced_batch.py`` pins the
+equivalence, ``benchmarks/test_sliced_engine.py`` the speedup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Union
+from typing import Dict, List, Literal, Optional, Sequence, Union, overload
 
 import numpy as np
 
 from repro.align.banding import BandGeometry
 from repro.align.termination import NEG_INF
 from repro.align.types import AlignmentProfile, AlignmentResult, AlignmentTask
+from repro.core.sliced_diagonal import slice_ranges
 from repro.core.uneven_bucketing import length_bucket_order
 
 __all__ = [
     "DEFAULT_BUCKET_SIZE",
+    "DEFAULT_SLICE_WIDTH",
+    "ENGINE_SLICE_WIDTHS",
     "TaskBatch",
     "pack_tasks",
     "batch_align",
@@ -59,6 +91,21 @@ __all__ = [
 #: Python dispatch over many tasks, small enough that the length spread
 #: inside one sorted bucket stays narrow.
 DEFAULT_BUCKET_SIZE: int = 64
+
+#: Default compaction slice width of the ``batch-sliced`` engine, in cell
+#: anti-diagonals: the paper's slice geometry (``slice_width`` 3 block
+#: anti-diagonals of 8x8 blocks) expressed in cells.
+DEFAULT_SLICE_WIDTH: int = 24
+
+#: Slice width implied by each batch-capable engine name: the dense
+#: ``"batch"`` engine never compacts, ``"batch-sliced"`` compacts every
+#: :data:`DEFAULT_SLICE_WIDTH` anti-diagonals.  Consumers that prime
+#: profiles through the batch engine (``KernelConfig.scoring_engine``)
+#: resolve their engine name here.
+ENGINE_SLICE_WIDTHS: Dict[str, Optional[int]] = {
+    "batch": None,
+    "batch-sliced": DEFAULT_SLICE_WIDTH,
+}
 
 # Per-task termination kinds (vectorised counterpart of the
 # TerminationCondition subclasses).
@@ -104,13 +151,28 @@ class TaskBatch:
         """Widest in-band anti-diagonal of any task (the lane axis)."""
         if self.size == 0:
             return 0
-        band = np.where(
-            self.diag_hi >= self.diag_lo,
-            (self.diag_hi - self.diag_lo) // 2 + 1,
-            0,
-        )
-        lanes = np.minimum.reduce([self.ref_len, self.query_len, band])
+        lanes = _lane_bounds(self.ref_len, self.query_len, self.diag_lo, self.diag_hi)
         return int(max(lanes.max(initial=0), 0))
+
+
+def _lane_bounds(
+    ref_len: np.ndarray,
+    query_len: np.ndarray,
+    diag_lo: np.ndarray,
+    diag_hi: np.ndarray,
+) -> np.ndarray:
+    """Per-task upper bound on in-band cells of any one anti-diagonal.
+
+    No anti-diagonal of a task holds more in-band cells than
+    ``min(ref_len, query_len, band)`` where ``band`` counts the task's
+    same-parity diagonals.  :attr:`TaskBatch.max_lanes` sizes the lane
+    axis with this bound, and the slice-boundary compaction shrinks it
+    with the same bound -- they must stay one formula, because the
+    compaction's "trimming keeps every valid lane" invariant is exactly
+    that the stored wavefront never exceeds it.
+    """
+    band = np.where(diag_hi >= diag_lo, (diag_hi - diag_lo) // 2 + 1, 0)
+    return np.minimum.reduce([ref_len, query_len, band])
 
 
 def _resolve_termination(task: AlignmentTask, kind: str) -> tuple[int, int]:
@@ -227,165 +289,238 @@ def _gather_lanes(
 
 
 def _sweep(
-    batch: TaskBatch, *, return_profiles: bool
+    batch: TaskBatch,
+    *,
+    return_profiles: bool,
+    slice_width: Optional[int] = None,
 ) -> Union[List[AlignmentResult], List[AlignmentProfile]]:
-    """Run the banded wavefront DP over every task of ``batch`` at once."""
+    """Run the banded wavefront DP over every task of ``batch`` at once.
+
+    With ``slice_width=None`` the sweep is dense: every task keeps its
+    buffer rows until the bucket finishes.  With a positive
+    ``slice_width`` the sweep compacts terminated/completed tasks out of
+    the struct-of-arrays buffers at every slice boundary (see the module
+    docstring); the arithmetic -- and therefore every output -- is
+    identical either way.
+    """
     n = batch.size
     if n == 0:
         return []
-    width = batch.max_lanes
     max_ad = int(batch.num_antidiagonals.max(initial=0))
 
-    ref_len = batch.ref_len
-    query_len = batch.query_len
-    diag_lo = batch.diag_lo
-    diag_hi = batch.diag_hi
-    alpha = batch.gap_open
-    beta = batch.gap_extend
-    open_cost = alpha + beta
-    task_idx = np.arange(n)
-    lane = np.arange(width, dtype=np.int64)[None, :]
-
-    # Wavefront state: anti-diagonal c-1 (H/E/F) and c-2 (H only), each
-    # with its per-task row offset and valid lane count.
-    h1 = np.full((n, width), NEG_INF, dtype=np.int64)
-    e1 = np.full((n, width), NEG_INF, dtype=np.int64)
-    f1 = np.full((n, width), NEG_INF, dtype=np.int64)
-    lo1 = np.zeros(n, dtype=np.int64)
-    cnt1 = np.zeros(n, dtype=np.int64)
-    h2 = np.full((n, width), NEG_INF, dtype=np.int64)
-    lo2 = np.zeros(n, dtype=np.int64)
-    cnt2 = np.zeros(n, dtype=np.int64)
-
-    # Termination state (vectorised TerminationCondition).
+    # Input-order accumulators.  They stay full-size for the whole sweep;
+    # the live task-axis arrays below may shrink at slice boundaries, and
+    # ``orig`` maps live rows back to input positions.
     best_score = np.full(n, NEG_INF, dtype=np.int64)
     best_i = np.full(n, -1, dtype=np.int64)
     best_j = np.full(n, -1, dtype=np.int64)
     fired = np.zeros(n, dtype=bool)
-
-    # Work counters and (optional) per-anti-diagonal profile buffers.
     ad_count = np.zeros(n, dtype=np.int64)
     cells_count = np.zeros(n, dtype=np.int64)
     if return_profiles:
         maxima_buf = np.zeros((n, max_ad), dtype=np.int64)
         cells_buf = np.zeros((n, max_ad), dtype=np.int64)
 
-    for c in range(max_ad):
-        active = ~fired & (c < batch.num_antidiagonals)
-        if not active.any():
+    # Live per-task vectors (compacted in lock step with the buffers).
+    orig = np.arange(n)
+    ref_buf = batch.ref_buf
+    query_buf = batch.query_buf
+    ref_len = batch.ref_len
+    query_len = batch.query_len
+    diag_lo = batch.diag_lo
+    diag_hi = batch.diag_hi
+    num_ad = batch.num_antidiagonals
+    scheme_idx = batch.scheme_idx
+    term_kind = batch.term_kind
+    term_threshold = batch.term_threshold
+    alpha = batch.gap_open
+    beta = batch.gap_extend
+    open_cost = alpha + beta
+
+    m = n
+    width = batch.max_lanes
+    task_idx = np.arange(m)
+    lane = np.arange(width, dtype=np.int64)[None, :]
+
+    # Wavefront state: anti-diagonal c-1 (H/E/F) and c-2 (H only), each
+    # with its per-task row offset and valid lane count.
+    h1 = np.full((m, width), NEG_INF, dtype=np.int64)
+    e1 = np.full((m, width), NEG_INF, dtype=np.int64)
+    f1 = np.full((m, width), NEG_INF, dtype=np.int64)
+    lo1 = np.zeros(m, dtype=np.int64)
+    cnt1 = np.zeros(m, dtype=np.int64)
+    h2 = np.full((m, width), NEG_INF, dtype=np.int64)
+    lo2 = np.zeros(m, dtype=np.int64)
+    cnt2 = np.zeros(m, dtype=np.int64)
+
+    spans = (
+        [(0, max_ad)] if slice_width is None else slice_ranges(max_ad, slice_width)
+    )
+    exhausted = False
+    for slice_lo, slice_hi in spans:
+        if exhausted:
             break
+        if slice_lo > 0:
+            # Slice boundary: compact terminated and completed tasks out
+            # of the buffers, re-packing survivors into fewer rows and
+            # shrinking the lane axis to the widest surviving band.
+            keep = ~fired[orig] & (num_ad > slice_lo)
+            if not keep.all():
+                live = np.flatnonzero(keep)
+                if live.size == 0:
+                    break
+                orig = orig[live]
+                ref_len = ref_len[live]
+                query_len = query_len[live]
+                diag_lo = diag_lo[live]
+                diag_hi = diag_hi[live]
+                num_ad = num_ad[live]
+                scheme_idx = scheme_idx[live]
+                term_kind = term_kind[live]
+                term_threshold = term_threshold[live]
+                alpha = alpha[live]
+                beta = beta[live]
+                open_cost = open_cost[live]
+                lanes = _lane_bounds(ref_len, query_len, diag_lo, diag_hi)
+                width = int(max(lanes.max(initial=0), 0))
+                ref_buf = ref_buf[live, : max(int(ref_len.max(initial=0)), 1)]
+                query_buf = query_buf[
+                    live, : max(int(query_len.max(initial=0)), 1)
+                ]
+                h1 = h1[live, :width]
+                e1 = e1[live, :width]
+                f1 = f1[live, :width]
+                h2 = h2[live, :width]
+                lo1 = lo1[live]
+                cnt1 = cnt1[live]
+                lo2 = lo2[live]
+                cnt2 = cnt2[live]
+                m = live.size
+                task_idx = np.arange(m)
+                lane = np.arange(width, dtype=np.int64)[None, :]
 
-        # In-band row range per task (BandGeometry.row_range, vectorised).
-        j_lo = np.maximum.reduce(
-            [
-                np.zeros(n, dtype=np.int64),
-                c - ref_len + 1,
-                -((diag_hi - c) // 2),
-            ]
-        )
-        j_hi = np.minimum.reduce(
-            [query_len - 1, np.full(n, c, dtype=np.int64), (c - diag_lo) // 2]
-        )
-        count = np.where(active, np.maximum(j_hi - j_lo + 1, 0), 0)
+        for c in range(slice_lo, slice_hi):
+            active = ~fired[orig] & (c < num_ad)
+            if not active.any():
+                # Every live task has fired or completed; no later
+                # anti-diagonal can revive one.
+                exhausted = True
+                break
 
-        rows = j_lo[:, None] + lane
-        cols = c - rows
-        lane_mask = (lane < count[:, None]) & active[:, None]
-
-        # --- vertical (E): (i-1, j) on anti-diagonal c-1, same row.
-        up_h = _gather_lanes(h1, lo1, cnt1, rows)
-        up_e = _gather_lanes(e1, lo1, cnt1, rows)
-        top_edge = lane_mask & (cols == 0)
-        edge_cost = -(alpha[:, None] + (rows + 1) * beta[:, None])
-        up_h = np.where(top_edge, edge_cost, up_h)
-        up_e = np.where(top_edge, NEG_INF, up_e)
-
-        # --- horizontal (F): (i, j-1) on anti-diagonal c-1, row j-1.
-        left_h = _gather_lanes(h1, lo1, cnt1, rows - 1)
-        left_f = _gather_lanes(f1, lo1, cnt1, rows - 1)
-        left_edge = lane_mask & (rows == 0)
-        left_cost = -(alpha[:, None] + (cols + 1) * beta[:, None])
-        left_h = np.where(left_edge, left_cost, left_h)
-        left_f = np.where(left_edge, NEG_INF, left_f)
-
-        # --- diagonal: H at (i-1, j-1) on anti-diagonal c-2, row j-1.
-        diag_h = _gather_lanes(h2, lo2, cnt2, rows - 1)
-        corner = lane_mask & (cols == 0) & (rows == 0)
-        diag_h = np.where(corner, 0, diag_h)
-        top_diag = lane_mask & (cols == 0) & (rows > 0)
-        diag_h = np.where(
-            top_diag, -(alpha[:, None] + rows * beta[:, None]), diag_h
-        )
-        left_diag = lane_mask & (rows == 0) & (cols > 0)
-        diag_h = np.where(
-            left_diag, -(alpha[:, None] + cols * beta[:, None]), diag_h
-        )
-
-        e_cur = np.maximum(up_h - open_cost[:, None], up_e - beta[:, None])
-        f_cur = np.maximum(left_h - open_cost[:, None], left_f - beta[:, None])
-        np.maximum(e_cur, NEG_INF, out=e_cur)
-        np.maximum(f_cur, NEG_INF, out=f_cur)
-
-        ref_codes = np.take_along_axis(
-            batch.ref_buf, np.clip(cols, 0, batch.ref_buf.shape[1] - 1), axis=1
-        )
-        query_codes = np.take_along_axis(
-            batch.query_buf,
-            np.clip(rows, 0, batch.query_buf.shape[1] - 1),
-            axis=1,
-        )
-        match_scores = batch.sub_stack[
-            batch.scheme_idx[:, None], ref_codes, query_codes
-        ]
-        diag_val = np.where(diag_h > NEG_INF, diag_h + match_scores, NEG_INF)
-
-        h_cur = np.maximum(np.maximum(e_cur, f_cur), diag_val)
-        np.maximum(h_cur, NEG_INF, out=h_cur)
-        h_masked = np.where(lane_mask, h_cur, NEG_INF)
-
-        # Per-task local maximum of this anti-diagonal (first-max index,
-        # like the scalar engine's argmax).
-        k = np.argmax(h_masked, axis=1)
-        local_best = h_masked[task_idx, k]
-        local_j = rows[task_idx, k]
-        local_i = c - local_j
-
-        ad_count += active
-        cells_count += count
-        if return_profiles:
-            maxima_buf[active, c] = np.where(count > 0, local_best, NEG_INF)[
-                active
-            ]
-            cells_buf[active, c] = count[active]
-
-        # --- termination update (condition checked against the global
-        # maximum of *earlier* anti-diagonals, then the local maximum is
-        # folded in -- the exact ordering of TerminationCondition.update).
-        cond = active & (local_best > NEG_INF)
-        has_best = best_score > NEG_INF
-        drop = best_score - local_best
-        diag_offset = np.abs((local_i - best_i) - (local_j - best_j))
-        z_fire = drop > batch.term_threshold + beta * diag_offset
-        x_fire = drop > batch.term_threshold
-        fire = (
-            cond
-            & has_best
-            & (
-                ((batch.term_kind == _TERM_ZDROP) & z_fire)
-                | ((batch.term_kind == _TERM_XDROP) & x_fire)
+            # In-band row range per task (BandGeometry.row_range, vectorised).
+            j_lo = np.maximum.reduce(
+                [
+                    np.zeros(m, dtype=np.int64),
+                    c - ref_len + 1,
+                    -((diag_hi - c) // 2),
+                ]
             )
-        )
-        fired |= fire
-        improve = cond & ~fire & (local_best > best_score)
-        best_score = np.where(improve, local_best, best_score)
-        best_i = np.where(improve, local_i, best_i)
-        best_j = np.where(improve, local_j, best_j)
+            j_hi = np.minimum.reduce(
+                [query_len - 1, np.full(m, c, dtype=np.int64), (c - diag_lo) // 2]
+            )
+            count = np.where(active, np.maximum(j_hi - j_lo + 1, 0), 0)
 
-        # --- advance the wavefront state.
-        h2, lo2, cnt2 = h1, lo1, cnt1
-        h1, e1, f1 = h_masked, e_cur, f_cur
-        lo1 = np.where(count > 0, j_lo, 0)
-        cnt1 = count
+            rows = j_lo[:, None] + lane
+            cols = c - rows
+            lane_mask = (lane < count[:, None]) & active[:, None]
+
+            # --- vertical (E): (i-1, j) on anti-diagonal c-1, same row.
+            up_h = _gather_lanes(h1, lo1, cnt1, rows)
+            up_e = _gather_lanes(e1, lo1, cnt1, rows)
+            top_edge = lane_mask & (cols == 0)
+            edge_cost = -(alpha[:, None] + (rows + 1) * beta[:, None])
+            up_h = np.where(top_edge, edge_cost, up_h)
+            up_e = np.where(top_edge, NEG_INF, up_e)
+
+            # --- horizontal (F): (i, j-1) on anti-diagonal c-1, row j-1.
+            left_h = _gather_lanes(h1, lo1, cnt1, rows - 1)
+            left_f = _gather_lanes(f1, lo1, cnt1, rows - 1)
+            left_edge = lane_mask & (rows == 0)
+            left_cost = -(alpha[:, None] + (cols + 1) * beta[:, None])
+            left_h = np.where(left_edge, left_cost, left_h)
+            left_f = np.where(left_edge, NEG_INF, left_f)
+
+            # --- diagonal: H at (i-1, j-1) on anti-diagonal c-2, row j-1.
+            diag_h = _gather_lanes(h2, lo2, cnt2, rows - 1)
+            corner = lane_mask & (cols == 0) & (rows == 0)
+            diag_h = np.where(corner, 0, diag_h)
+            top_diag = lane_mask & (cols == 0) & (rows > 0)
+            diag_h = np.where(
+                top_diag, -(alpha[:, None] + rows * beta[:, None]), diag_h
+            )
+            left_diag = lane_mask & (rows == 0) & (cols > 0)
+            diag_h = np.where(
+                left_diag, -(alpha[:, None] + cols * beta[:, None]), diag_h
+            )
+
+            e_cur = np.maximum(up_h - open_cost[:, None], up_e - beta[:, None])
+            f_cur = np.maximum(left_h - open_cost[:, None], left_f - beta[:, None])
+            np.maximum(e_cur, NEG_INF, out=e_cur)
+            np.maximum(f_cur, NEG_INF, out=f_cur)
+
+            ref_codes = np.take_along_axis(
+                ref_buf, np.clip(cols, 0, ref_buf.shape[1] - 1), axis=1
+            )
+            query_codes = np.take_along_axis(
+                query_buf,
+                np.clip(rows, 0, query_buf.shape[1] - 1),
+                axis=1,
+            )
+            match_scores = batch.sub_stack[
+                scheme_idx[:, None], ref_codes, query_codes
+            ]
+            diag_val = np.where(diag_h > NEG_INF, diag_h + match_scores, NEG_INF)
+
+            h_cur = np.maximum(np.maximum(e_cur, f_cur), diag_val)
+            np.maximum(h_cur, NEG_INF, out=h_cur)
+            h_masked = np.where(lane_mask, h_cur, NEG_INF)
+
+            # Per-task local maximum of this anti-diagonal (first-max index,
+            # like the scalar engine's argmax).
+            k = np.argmax(h_masked, axis=1)
+            local_best = h_masked[task_idx, k]
+            local_j = rows[task_idx, k]
+            local_i = c - local_j
+
+            ad_count[orig] += active
+            cells_count[orig] += count
+            if return_profiles:
+                maxima_buf[orig[active], c] = np.where(
+                    count > 0, local_best, NEG_INF
+                )[active]
+                cells_buf[orig[active], c] = count[active]
+
+            # --- termination update (condition checked against the global
+            # maximum of *earlier* anti-diagonals, then the local maximum is
+            # folded in -- the exact ordering of TerminationCondition.update).
+            bs = best_score[orig]
+            bi = best_i[orig]
+            bj = best_j[orig]
+            cond = active & (local_best > NEG_INF)
+            has_best = bs > NEG_INF
+            drop = bs - local_best
+            diag_offset = np.abs((local_i - bi) - (local_j - bj))
+            z_fire = drop > term_threshold + beta * diag_offset
+            x_fire = drop > term_threshold
+            fire = (
+                cond
+                & has_best
+                & (
+                    ((term_kind == _TERM_ZDROP) & z_fire)
+                    | ((term_kind == _TERM_XDROP) & x_fire)
+                )
+            )
+            fired[orig] |= fire
+            improve = cond & ~fire & (local_best > bs)
+            best_score[orig] = np.where(improve, local_best, bs)
+            best_i[orig] = np.where(improve, local_i, bi)
+            best_j[orig] = np.where(improve, local_j, bj)
+
+            # --- advance the wavefront state.
+            h2, lo2, cnt2 = h1, lo1, cnt1
+            h1, e1, f1 = h_masked, e_cur, f_cur
+            lo1 = np.where(count > 0, j_lo, 0)
+            cnt1 = count
 
     score = np.where(best_score > NEG_INF, best_score, 0)
     results = [
@@ -417,12 +552,35 @@ def _sweep(
     return profiles
 
 
+@overload
+def batch_align(
+    tasks: Sequence[AlignmentTask],
+    *,
+    termination: str = ...,
+    bucket_size: int = ...,
+    return_profiles: Literal[False] = ...,
+    slice_width: Optional[int] = ...,
+) -> List[AlignmentResult]: ...
+
+
+@overload
+def batch_align(
+    tasks: Sequence[AlignmentTask],
+    *,
+    termination: str = ...,
+    bucket_size: int = ...,
+    return_profiles: Literal[True],
+    slice_width: Optional[int] = ...,
+) -> List[AlignmentProfile]: ...
+
+
 def batch_align(
     tasks: Sequence[AlignmentTask],
     *,
     termination: str = "zdrop",
     bucket_size: int = DEFAULT_BUCKET_SIZE,
     return_profiles: bool = False,
+    slice_width: Optional[int] = None,
 ) -> Union[List[AlignmentResult], List[AlignmentProfile]]:
     """Align every task with the batched struct-of-arrays engine.
 
@@ -432,7 +590,7 @@ def batch_align(
 
     The results are bit-identical to running
     :func:`repro.align.antidiagonal.antidiagonal_align` per task with the
-    matching termination condition.
+    matching termination condition -- with or without sliced compaction.
 
     Parameters
     ----------
@@ -446,7 +604,15 @@ def batch_align(
     return_profiles:
         Return :class:`AlignmentProfile` objects (with per-anti-diagonal
         maxima and cell counts) instead of plain results.
+    slice_width:
+        ``None`` (the dense sweep) or a positive number of anti-diagonals
+        between compaction points: at every slice boundary, terminated
+        and completed tasks are compacted out of the bucket's buffers so
+        survivors sweep in smaller matrices (the ``batch-sliced``
+        engine; see the module docstring).
     """
+    if slice_width is not None and slice_width <= 0:
+        raise ValueError("slice_width must be positive (or None for dense)")
     tasks = list(tasks)
     if not tasks:
         return []
@@ -454,6 +620,9 @@ def batch_align(
     out: List = [None] * len(tasks)
     for bucket in length_bucket_order(workloads, bucket_size):
         batch = pack_tasks([tasks[i] for i in bucket], termination)
-        for i, item in zip(bucket, _sweep(batch, return_profiles=return_profiles)):
+        swept = _sweep(
+            batch, return_profiles=return_profiles, slice_width=slice_width
+        )
+        for i, item in zip(bucket, swept):
             out[i] = item
     return out

@@ -73,6 +73,10 @@ from repro.serve.scheduler import ServeReport, replay
 from repro.serve.service import AlignmentService
 from repro.serve.telemetry import serve_bench_record
 
+# Record builder for wall-clock engine studies (BENCH_sliced.json);
+# imported from the concrete submodule for the same reason as above.
+from repro.bench.records import engine_bench_record
+
 __all__ = [
     # façade
     "Session",
@@ -108,6 +112,7 @@ __all__ = [
     "RequestTrace",
     "replay",
     "serve_bench_record",
+    "engine_bench_record",
     # typed results
     "AlignmentOutcome",
     "MappingOutcome",

@@ -39,6 +39,23 @@ def compare_suite(
     can be swapped for e.g. :class:`repro.baselines.aligner.BwaMemCpuAligner`.
     The arithmetic is identical to the legacy ``compare_kernels``
     (``ComparisonOutcome.to_dict()`` reproduces its mapping bit for bit).
+
+    Examples
+    --------
+    Any registered suite can be compared over any workload; one tiny
+    task against the Figure-8 MM2-Target line-up:
+
+    >>> from repro.api.suites import build_suite
+    >>> from repro.align.scoring import preset
+    >>> from repro.align.sequence import encode
+    >>> from repro.align.types import AlignmentTask
+    >>> task = AlignmentTask(ref=encode("ACGTACGT"), query=encode("ACGTACGT"),
+    ...                      scoring=preset("figure1"))
+    >>> outcome = compare_suite([task], build_suite("mm2"))
+    >>> sorted(outcome.kernels)
+    ['AGAThA', 'GASAL2', 'Manymap', 'SALoBa']
+    >>> all(summary.time_ms > 0 for summary in outcome.kernels.values())
+    True
     """
     if device is None or cpu is None:
         # Imported lazily: pipeline.experiment's shims import repro.api.

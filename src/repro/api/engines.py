@@ -1,8 +1,8 @@
 """The alignment-engine registry: name-keyed workload scoring backends.
 
 An *engine* scores a whole workload of :class:`AlignmentTask` objects and
-returns one :class:`AlignmentResult` per task, in task order.  The two
-built-in engines are the ones the repository has always had:
+returns one :class:`AlignmentResult` per task, in task order.  Three
+engines are built in:
 
 ``"scalar"``
     One banded wavefront sweep per task (the oracle path).
@@ -10,6 +10,13 @@ built-in engines are the ones the repository has always had:
     The struct-of-arrays batch engine (:mod:`repro.align.batch`):
     buckets of tasks swept simultaneously, bit-identical to the scalar
     engine and several times faster (DESIGN.md).
+``"batch-sliced"``
+    The batch engine with sliced early termination: the sweep compacts
+    terminated tasks out of its buffers every
+    :data:`~repro.align.batch.DEFAULT_SLICE_WIDTH` anti-diagonals, so
+    heterogeneous early-terminating workloads skip the post-termination
+    padding work.  Bit-identical to both other engines
+    (docs/ENGINES.md).
 
 New backends register under a name and immediately become usable by
 :class:`repro.api.Session`, :class:`repro.pipeline.mapper.LongReadMapper`
@@ -22,6 +29,15 @@ and anything else that resolves engines by name::
 This replaces the old boolean plumbing (``align_workload(batched=...)``,
 ``LongReadMapper(batched=...)``) that could only ever express two
 backends.
+
+One deliberate exception: kernel profile priming
+(``KernelConfig.scoring_engine``) does not resolve through this
+registry.  Profiles require the batch machinery's ``return_profiles``
+path, which arbitrary registered engines cannot provide, so that knob
+accepts only the closed set in
+:data:`repro.align.batch.ENGINE_SLICE_WIDTHS` -- re-registering
+``"batch-sliced"`` here changes :class:`Session`/serving behaviour but
+never what primes kernel profiles (docs/ENGINES.md).
 """
 
 from __future__ import annotations
@@ -29,7 +45,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.align.antidiagonal import antidiagonal_align
-from repro.align.batch import DEFAULT_BUCKET_SIZE, batch_align
+from repro.align.batch import DEFAULT_BUCKET_SIZE, DEFAULT_SLICE_WIDTH, batch_align
 from repro.align.types import AlignmentResult, AlignmentTask
 from repro.api.registry import Registry
 
@@ -90,6 +106,23 @@ def batch_engine(
     return batch_align(tasks, bucket_size=batch_size)
 
 
+@register_engine("batch-sliced")
+def sliced_batch_engine(
+    tasks: Sequence[AlignmentTask],
+    *,
+    batch_size: int = DEFAULT_BUCKET_SIZE,
+    slice_width: int = DEFAULT_SLICE_WIDTH,
+) -> List[AlignmentResult]:
+    """Batch engine with sliced early termination and lane compaction.
+
+    Same arithmetic as ``"batch"`` (and therefore ``"scalar"``); at
+    every ``slice_width`` anti-diagonals, terminated and completed
+    tasks are compacted out of the bucket's buffers so the surviving
+    tasks sweep in smaller matrices.
+    """
+    return batch_align(tasks, bucket_size=batch_size, slice_width=slice_width)
+
+
 # ----------------------------------------------------------------------
 def align_tasks(
     tasks: Sequence[AlignmentTask],
@@ -101,5 +134,20 @@ def align_tasks(
 
     The core implementation behind :meth:`repro.api.Session.align` and
     the deprecated ``repro.pipeline.experiment.align_workload``.
+
+    The built-in engines agree bit for bit, so swapping names never
+    changes a score:
+
+    >>> from repro.align.scoring import preset
+    >>> from repro.align.sequence import encode
+    >>> from repro.align.types import AlignmentTask
+    >>> task = AlignmentTask(
+    ...     ref=encode("ACGTACGT"), query=encode("ACGTACGT"),
+    ...     scoring=preset("figure1"),
+    ... )
+    >>> [r.score for r in align_tasks([task], engine="scalar")]
+    [16]
+    >>> [r.score for r in align_tasks([task], engine="batch-sliced")]
+    [16]
     """
     return get_engine(engine)(tasks, batch_size=batch_size)

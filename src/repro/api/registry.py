@@ -36,6 +36,28 @@ class Registry(Generic[T]):
     Registering a name twice raises :class:`RegistryError` unless
     ``replace=True`` is passed (tests and notebooks use ``replace`` /
     :meth:`unregister` to install temporary entries).
+
+    Examples
+    --------
+    A registry is self-contained, so the whole lifecycle fits here:
+
+    >>> reg = Registry("engine")
+    >>> reg.register("fast", "a-backend")
+    'a-backend'
+    >>> "fast" in reg, reg.names()
+    (True, ('fast',))
+    >>> reg.register("fast", "another")
+    Traceback (most recent call last):
+        ...
+    repro.api.registry.RegistryError: engine 'fast' is already registered; pass replace=True to override it
+    >>> reg.get("nope")
+    Traceback (most recent call last):
+        ...
+    KeyError: "unknown engine 'nope'; available: ['fast']"
+    >>> reg.unregister("fast")
+    'a-backend'
+    >>> len(reg)
+    0
     """
 
     def __init__(self, kind: str) -> None:

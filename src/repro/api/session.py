@@ -106,6 +106,30 @@ class Session:
     Exactly one of ``dataset``, ``tasks`` and ``reference`` must be
     given; engine and suite names are validated eagerly so a typo fails
     at construction, not mid-run.
+
+    Examples
+    --------
+    A task session scores its workload with any registered engine; the
+    built-in engines are bit-identical, so swapping names never changes
+    a score:
+
+    >>> from repro.api import Session
+    >>> from repro.align.scoring import preset
+    >>> from repro.align.sequence import encode
+    >>> from repro.align.types import AlignmentTask
+    >>> task = AlignmentTask(ref=encode("ACGTACGT"), query=encode("ACGTACGT"),
+    ...                      scoring=preset("figure1"))
+    >>> Session(tasks=[task]).align().scores            # "batch" default
+    [16]
+    >>> Session(tasks=[task], engine="batch-sliced").align().scores
+    [16]
+
+    Unknown registry names fail at construction, not mid-run:
+
+    >>> Session(tasks=[task], engine="warp-9")
+    Traceback (most recent call last):
+        ...
+    KeyError: "unknown engine 'warp-9'; available: ['scalar', 'batch', 'batch-sliced']"
     """
 
     def __init__(

@@ -14,7 +14,12 @@ cacheable, machine-readable runs:
 
 from repro.bench.cache import WorkloadCache, build_workload, spec_fingerprint
 from repro.bench.compare import ComparisonReport, compare_records, format_report
-from repro.bench.records import BenchRecord, CellRecord, SuiteRecord
+from repro.bench.records import (
+    BenchRecord,
+    CellRecord,
+    SuiteRecord,
+    engine_bench_record,
+)
 from repro.bench.runner import (
     FIGURES,
     BenchCell,
@@ -34,6 +39,7 @@ __all__ = [
     "BenchRecord",
     "CellRecord",
     "SuiteRecord",
+    "engine_bench_record",
     "FIGURES",
     "BenchCell",
     "run_cell",

@@ -24,6 +24,7 @@ import sys
 from importlib import import_module
 from typing import List, Optional, Sequence, Tuple
 
+from repro.align.batch import ENGINE_SLICE_WIDTHS
 from repro.api.suites import suite_names
 from repro.bench.compare import DEFAULT_TOLERANCE, compare_records, format_report
 from repro.bench.records import BenchRecord
@@ -74,6 +75,14 @@ def _run_parser() -> argparse.ArgumentParser:
         metavar="MOD[,MOD...]",
         help="import these modules first (their register_suite/register_kernel "
         "calls make custom suites available to --suites)",
+    )
+    parser.add_argument(
+        "--scoring-engine",
+        choices=sorted(ENGINE_SLICE_WIDTHS),
+        help="batch-capable engine that primes task profiles inside each "
+        "cell (KernelConfig.scoring_engine); results and records are "
+        "bit-identical either way, batch-sliced skips post-termination "
+        "sweep work (default: batch)",
     )
     parser.add_argument(
         "--output",
@@ -190,11 +199,17 @@ def _run_main(argv: Sequence[str]) -> int:
             flush=True,
         )
 
+    config = None
+    if args.scoring_engine is not None:
+        from repro.kernels import KernelConfig
+
+        config = KernelConfig(scoring_engine=args.scoring_engine)
     record = run_figure(
         args.figure,
         workers=args.workers,
         datasets=args.datasets,
         suites=tuple(args.suites) if args.suites else None,
+        config=config,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=None if args.quiet else progress,

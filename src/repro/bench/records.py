@@ -34,6 +34,7 @@ __all__ = [
     "SuiteRecord",
     "BenchRecord",
     "environment_metadata",
+    "engine_bench_record",
 ]
 
 #: Bump whenever the JSON layout changes incompatibly.
@@ -185,3 +186,60 @@ class BenchRecord:
     def load(cls, path: Path | str) -> "BenchRecord":
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# wall-clock engine studies (BENCH_sliced.json and friends)
+# ----------------------------------------------------------------------
+def engine_bench_record(
+    timings_ms: Mapping[str, float],
+    *,
+    anchor: str,
+    figure: str = "engines",
+    workload: str = "workload",
+    environment: Optional[Mapping[str, object]] = None,
+) -> BenchRecord:
+    """Fold per-engine wall-clock timings into one gateable record.
+
+    The engine-study mirror of
+    :func:`repro.serve.telemetry.serve_bench_record`: every alignment
+    engine becomes a "kernel" row of a single suite named ``figure``,
+    ``time_ms`` is its wall-clock on the workload and ``speedup_vs_cpu``
+    its speedup over the ``anchor`` engine (whose time fills
+    ``cpu_time_ms``, the anchor slot of the record schema).  The result
+    serialises to ``BENCH_<figure>.json`` and diffs with
+    ``python -m repro.bench compare`` like any other record
+    (docs/BENCHMARKS.md).
+
+    Unlike figure records, the timings here are *measured*, so records
+    from different machines differ; gate them only against baselines
+    captured on comparable hardware.
+    """
+    if anchor not in timings_ms:
+        raise ValueError(
+            f"anchor engine {anchor!r} has no timing; got {sorted(timings_ms)}"
+        )
+    anchor_ms = float(timings_ms[anchor])
+    suite = SuiteRecord(suite=figure, cpu_time_ms={workload: anchor_ms})
+    for engine, time_ms in timings_ms.items():
+        time_ms = float(time_ms)
+        if time_ms <= 0:
+            raise ValueError(f"engine {engine!r} has non-positive timing {time_ms}")
+        speedup = anchor_ms / time_ms
+        suite.cells.append(
+            CellRecord(
+                dataset=workload,
+                kernel=engine,
+                time_ms=time_ms,
+                speedup_vs_cpu=speedup,
+            )
+        )
+        suite.speedups[engine] = {workload: speedup, "GeoMean": speedup}
+    return BenchRecord(
+        figure=figure,
+        datasets=[workload],
+        suites={figure: suite},
+        environment=environment_metadata(
+            anchor_engine=anchor, **dict(environment or {})
+        ),
+    )

@@ -31,11 +31,37 @@ the baseline -- the generalisation the paper points out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 from repro.align.blocks import BlockGrid
 
-__all__ = ["SliceWork", "ChunkWork", "SlicedDiagonalSchedule", "HorizontalChunkSchedule"]
+__all__ = [
+    "slice_ranges",
+    "SliceWork",
+    "ChunkWork",
+    "SlicedDiagonalSchedule",
+    "HorizontalChunkSchedule",
+]
+
+
+def slice_ranges(total: int, slice_width: int) -> List[Tuple[int, int]]:
+    """Half-open ``[lo, hi)`` anti-diagonal ranges of every slice.
+
+    The slice geometry shared by both consumers of sliced-diagonal
+    tiling: :class:`SlicedDiagonalSchedule` cuts *block* anti-diagonals
+    into slices of ``slice_width`` for the GPU-side simulator, and the
+    batched SIMD engine (:func:`repro.align.batch.batch_align` with
+    ``slice_width=``) cuts *cell* anti-diagonals the same way, compacting
+    terminated tasks out of its buffers at every boundary.  ``total`` is
+    the number of anti-diagonals to cover; the last slice may be short.
+    """
+    if slice_width <= 0:
+        raise ValueError("slice_width must be positive")
+    if total <= 0:
+        return []
+    return [
+        (lo, min(lo + slice_width, total)) for lo in range(0, total, slice_width)
+    ]
 
 
 @dataclass(frozen=True)
@@ -98,7 +124,12 @@ class SlicedDiagonalSchedule:
         return -(-total // self.slice_width)
 
     def slice_block_antidiag_range(self, slice_index: int) -> tuple[int, int]:
-        """Half-open block anti-diagonal range ``[lo, hi)`` of a slice."""
+        """Half-open block anti-diagonal range ``[lo, hi)`` of a slice.
+
+        Same geometry as :func:`slice_ranges` (which the batched SIMD
+        engine consumes), kept as per-index arithmetic here because the
+        schedule queries one slice at a time.
+        """
         lo = slice_index * self.slice_width
         hi = min(lo + self.slice_width, self.grid.num_block_antidiagonals)
         return lo, hi

@@ -25,7 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace as _dc_replace
 from typing import List, Sequence
 
-from repro.align.batch import DEFAULT_BUCKET_SIZE, batch_align
+from repro.align.batch import (
+    DEFAULT_BUCKET_SIZE,
+    ENGINE_SLICE_WIDTHS,
+    batch_align,
+)
 from repro.align.blocks import BlockGrid
 from repro.align.types import AlignmentProfile, AlignmentResult, AlignmentTask
 from repro.gpusim.device import CostModel, DeviceSpec, RTX_A6000
@@ -68,6 +72,12 @@ class KernelConfig:
         per-task scalar path.
     batch_bucket_size:
         Tasks swept simultaneously by the batch engine.
+    scoring_engine:
+        Which batch-capable engine primes the task profiles:
+        ``"batch"`` (the dense sweep) or ``"batch-sliced"`` (sliced
+        early termination with lane compaction; see docs/ENGINES.md).
+        Results are bit-identical either way, so simulated timings never
+        change -- this knob only trades profile-priming wall-clock.
     """
 
     subwarp_size: int = 8
@@ -76,10 +86,24 @@ class KernelConfig:
     tasks_per_subwarp: int = 1
     batched_scoring: bool = True
     batch_bucket_size: int = DEFAULT_BUCKET_SIZE
+    scoring_engine: str = "batch"
+
+    def __post_init__(self) -> None:
+        if self.scoring_engine not in ENGINE_SLICE_WIDTHS:
+            raise ValueError(
+                f"scoring_engine must be one of "
+                f"{sorted(ENGINE_SLICE_WIDTHS)} (got {self.scoring_engine!r}); "
+                "use batched_scoring=False for the scalar path"
+            )
 
     def replace(self, **changes) -> "KernelConfig":
         """Return a copy with the given fields replaced."""
         return _dc_replace(self, **changes)
+
+    @property
+    def scoring_slice_width(self) -> int | None:
+        """Compaction slice width implied by ``scoring_engine``."""
+        return ENGINE_SLICE_WIDTHS[self.scoring_engine]
 
     @property
     def subwarps_per_warp(self) -> int:
@@ -134,6 +158,7 @@ class GuidedKernel:
             missing,
             bucket_size=self.config.batch_bucket_size,
             return_profiles=True,
+            slice_width=self.config.scoring_slice_width,
         )
         for task, profile in zip(missing, profiles):
             task._profile = profile
@@ -151,6 +176,7 @@ class GuidedKernel:
             tasks,
             termination=termination,
             bucket_size=self.config.batch_bucket_size,
+            slice_width=self.config.scoring_slice_width,
         )
 
     # ------------------------------------------------------------------

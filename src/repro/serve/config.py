@@ -30,7 +30,9 @@ class ServeConfig:
     ----------
     engine:
         Alignment engine name from the :mod:`repro.api` engine registry
-        (``"batch"`` by default, ``"scalar"`` for the oracle path).
+        (``"batch"`` by default; ``"batch-sliced"`` compacts terminated
+        tasks out of the sweep -- a good fit for mixed online traffic --
+        and ``"scalar"`` is the oracle path).
     batch_size:
         Bucket size handed to the engine (``None`` keeps the engine
         default).  This is the *engine's* internal SIMD bucket; the

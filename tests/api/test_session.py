@@ -59,6 +59,18 @@ class TestAlign:
         assert batch.scores == scalar.scores
         assert [r.cells_computed for r in batch] == [r.cells_computed for r in scalar]
 
+    def test_sliced_engine_agrees_through_session(self, task_batch):
+        sliced = Session(tasks=task_batch, engine="batch-sliced").align()
+        scalar = Session(tasks=task_batch, engine="scalar").align()
+        assert sliced.engine == "batch-sliced"
+        assert sliced.scores == scalar.scores
+        assert [r.antidiagonals_processed for r in sliced] == [
+            r.antidiagonals_processed for r in scalar
+        ]
+        assert [r.cells_computed for r in sliced] == [
+            r.cells_computed for r in scalar
+        ]
+
     def test_workload_cached_between_calls(self, task_batch):
         session = Session(tasks=task_batch)
         assert session.workload() is session.workload()

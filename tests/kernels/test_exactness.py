@@ -113,3 +113,24 @@ class TestConfigValidation:
         cfg = KernelConfig().replace(subwarp_size=16)
         assert cfg.subwarp_size == 16
         assert cfg.subwarps_per_warp == 2
+
+    def test_unknown_scoring_engine_rejected(self):
+        with pytest.raises(ValueError, match="scoring_engine"):
+            KernelConfig(scoring_engine="warp-9")
+        with pytest.raises(ValueError, match="scoring_engine"):
+            KernelConfig().replace(scoring_engine="scalar")
+
+    def test_sliced_scoring_engine_primes_identical_profiles(self, task_batch):
+        """KernelConfig(scoring_engine="batch-sliced") is bit-invariant."""
+        for task in task_batch:
+            task.invalidate_profile()
+        kernel = AgathaKernel(KernelConfig(scoring_engine="batch-sliced"))
+        results = kernel.run(task_batch)
+        for got, want in zip(results, oracle_results(task_batch)):
+            assert got.same_score(want)
+        dense = AgathaKernel(KernelConfig())
+        for task in task_batch:
+            sliced_profile = task.profile()
+            task.invalidate_profile()
+            dense.run([task])
+            assert task.profile().result == sliced_profile.result

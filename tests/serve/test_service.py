@@ -40,6 +40,12 @@ class TestLiveService:
             served = service.map(serve_tasks)
         assert served == list(Session(tasks=serve_tasks).align().results)
 
+    def test_sliced_engine_flows_through_serving(self, serve_tasks):
+        """ServeConfig(engine="batch-sliced") needs no serve-side changes."""
+        with AlignmentService(_config(engine="batch-sliced")) as service:
+            served = service.map(serve_tasks)
+        assert served == list(Session(tasks=serve_tasks).align().results)
+
     def test_shutdown_drains_pending_requests(self, serve_tasks):
         # A huge max_wait would hold requests for minutes; shutdown must
         # cut the pending batch instead of abandoning it.
