@@ -9,6 +9,9 @@ mutate ``sys.path``.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 from repro.analysis.report import format_table
 from repro.bench.runner import REPRESENTATIVE_DATASETS
 
@@ -24,3 +27,19 @@ def print_figure(title: str, headers, rows) -> None:
     print()
     print(f"=== {title} ===")
     print(format_table(headers, rows))
+
+
+def save_record(record, tmp_path: Path) -> Path:
+    """Save a bench record to ``tmp_path`` (and to the CI collection dir).
+
+    Benchmarks always write their record under pytest's ``tmp_path`` so
+    local runs leave no litter; when ``REPRO_BENCH_RECORD_DIR`` is set
+    (the CI perf-trajectory job points it at the workspace) a second
+    copy lands there for artifact upload and baseline gating.  Returns
+    the ``tmp_path`` copy.
+    """
+    path = record.save(tmp_path / record.default_filename)
+    collect_dir = os.environ.get("REPRO_BENCH_RECORD_DIR")
+    if collect_dir:
+        record.save(Path(collect_dir) / record.default_filename)
+    return path

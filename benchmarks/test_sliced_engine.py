@@ -25,7 +25,7 @@ from repro.align.types import AlignmentTask
 from repro.api import align_tasks
 from repro.bench.records import engine_bench_record
 
-from bench_utils import print_figure
+from bench_utils import print_figure, save_record
 
 #: Required speedup of batch-sliced over the dense batch engine.
 REQUIRED_SPEEDUP = 1.5
@@ -64,10 +64,18 @@ def make_early_terminating_workload(
     return tasks
 
 
-def _time(fn) -> tuple[float, list]:
-    start = time.perf_counter()
-    out = fn()
-    return time.perf_counter() - start, out
+def _time(fn, repeats: int = 2) -> tuple[float, list]:
+    """Best-of-N wall clock; the min absorbs one-sided scheduler noise.
+
+    The engines are deterministic, so every repeat returns identical
+    results and only the timing varies.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
 
 
 @pytest.mark.benchmark(group="sliced_engine")
@@ -110,7 +118,7 @@ def test_sliced_engine_speedup(benchmark, tmp_path):
             "batch_size": BATCH_SIZE,
         },
     )
-    path = record.save(tmp_path / record.default_filename)
+    path = save_record(record, tmp_path)
     assert path.name == "BENCH_sliced.json"
 
     assert speedup >= REQUIRED_SPEEDUP, (

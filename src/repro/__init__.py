@@ -68,6 +68,7 @@ _EXPORTS = {
     "get_kernel": "repro.api",
     "get_suite": "repro.api",
     "engine_names": "repro.api",
+    "unavailable_engines": "repro.api",
     "kernel_names": "repro.api",
     "suite_names": "repro.api",
     "build_suite": "repro.api",
@@ -121,6 +122,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
         get_suite,
         kernel_names,
         register_engine,
+        unavailable_engines,
         register_kernel,
         register_suite,
         suite_names,

@@ -98,13 +98,16 @@ DEFAULT_BUCKET_SIZE: int = 64
 DEFAULT_SLICE_WIDTH: int = 24
 
 #: Slice width implied by each batch-capable engine name: the dense
-#: ``"batch"`` engine never compacts, ``"batch-sliced"`` compacts every
-#: :data:`DEFAULT_SLICE_WIDTH` anti-diagonals.  Consumers that prime
-#: profiles through the batch engine (``KernelConfig.scoring_engine``)
-#: resolve their engine name here.
+#: ``"batch"`` engine never compacts, ``"batch-sliced"`` and the NumPy
+#: ``"vector"`` engine compact every :data:`DEFAULT_SLICE_WIDTH`
+#: anti-diagonals.  Consumers that prime profiles through the batch
+#: machinery (``KernelConfig.scoring_engine``) resolve their engine
+#: name here; ``"vector"`` is listed unconditionally and resolves its
+#: optional NumPy dependency lazily at scoring time.
 ENGINE_SLICE_WIDTHS: Dict[str, Optional[int]] = {
     "batch": None,
     "batch-sliced": DEFAULT_SLICE_WIDTH,
+    "vector": DEFAULT_SLICE_WIDTH,
 }
 
 # Per-task termination kinds (vectorised counterpart of the

@@ -1,0 +1,716 @@
+"""Vectorized whole-array anti-diagonal engine (the ``vector`` backend).
+
+The batch engine (:mod:`repro.align.batch`) already lays a bucket of
+tasks out as struct-of-arrays buffers and advances all of them one
+anti-diagonal at a time -- but inside each anti-diagonal it still pays
+seven ``take_along_axis`` gathers (H/E/F at three shifted positions plus
+the sequence codes) and recomputes the band geometry, the edge masks and
+the substitution lookups from scratch, every single anti-diagonal.  On
+realistic guided workloads those gathers and rebuilt masks are roughly
+half of the sweep's wall-clock.
+
+This module removes them.  The key observation is that the in-band row
+window only ever *slides*: between consecutive anti-diagonals the lower
+row bound ``j_lo`` grows by 0 or 1 (each term of its ``max`` is
+non-decreasing and grows by at most one), so the previous wavefront can
+be read through one of two *shifted views* of a guard-padded buffer
+instead of a gather -- and the two-back H wavefront through one of three.
+Everything that depends only on the band geometry -- row windows, shift
+selectors, lane masks, matrix-edge positions and the substitution scores
+of every in-band cell -- is precomputed for a whole *panel* of
+anti-diagonals in one set of array operations, so the per-anti-diagonal
+step is reduced to a handful of whole-array ``int64`` ufunc calls:
+shifted-view selects, the E/F/H maxima, the masked store, one ``argmax``
+for max-cell tracking and the vectorized Z-drop/X-drop update.
+
+Exactness
+---------
+The arithmetic is the batch engine's arithmetic in the batch engine's
+order; scores, maximum cells, termination anti-diagonals, work counters
+and per-anti-diagonal profiles are bit-identical to
+:func:`repro.align.batch.batch_align` and therefore to the scalar
+oracle (``tests/align/test_vector.py`` pins all of it, including a
+hypothesis property suite).  In particular:
+
+* stored E/F/H lanes are masked to the live lane window, which is
+  exactly equivalent to the batch engine's count-bounded gathers;
+* guard columns on both sides of every buffer stay ``NEG_INF``, so a
+  shifted view that peeks one lane outside the stored window reads the
+  same ``NEG_INF`` the gather's bounds check would produce;
+* the termination condition is evaluated every anti-diagonal against
+  the pre-update global maximum, like the scalar engine.
+
+Sliced compaction
+-----------------
+``slice_width`` works exactly as in the batch engine: the sweep is cut
+with :func:`repro.core.sliced_diagonal.slice_ranges` and terminated or
+completed tasks are compacted out of the buffers at every slice
+boundary.  The ``vector`` engine registered in :mod:`repro.api.engines`
+compacts every :data:`~repro.align.batch.DEFAULT_SLICE_WIDTH`
+anti-diagonals, like ``batch-sliced``.
+
+Optional dependency
+-------------------
+NumPy for this engine is an *optional* extra (``pip install
+agatha-repro[vector]``).  Importing this module without NumPy raises
+``ImportError``; :mod:`repro.api.engines` catches it and simply skips
+registration, so a NumPy-less install keeps every other entry point
+working and reports the engine as unavailable by name
+(:func:`repro.api.engines.unavailable_engines`).  Setting the
+environment variable ``REPRO_NO_VECTOR=1`` forces the same ImportError
+path on installs that do have NumPy -- CI uses it to exercise the
+fallback on every PR.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Literal, Optional, Sequence, Union, overload
+
+if os.environ.get("REPRO_NO_VECTOR"):
+    raise ImportError(
+        "repro.align.vector is disabled (REPRO_NO_VECTOR is set, simulating "
+        "an install without the optional [vector] extra)"
+    )
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - exercised via REPRO_NO_VECTOR
+    raise ImportError(
+        "repro.align.vector requires NumPy; install the optional extra with "
+        "pip install agatha-repro[vector]"
+    ) from exc
+
+from repro.align.banding import BandGeometry
+from repro.align.batch import (
+    DEFAULT_SLICE_WIDTH,
+    TaskBatch,
+    _lane_bounds,
+    _TERM_XDROP,
+    _TERM_ZDROP,
+    pack_tasks,
+)
+from repro.align.termination import NEG_INF
+from repro.align.types import AlignmentProfile, AlignmentResult, AlignmentTask
+from repro.core.sliced_diagonal import slice_ranges
+from repro.core.uneven_bucketing import length_bucket_order
+
+__all__ = [
+    "DEFAULT_VECTOR_BUCKET_SIZE",
+    "PANEL_WIDTH",
+    "vector_align",
+]
+
+#: Default bucket size of the ``vector`` engine.  Larger than the batch
+#: engine's 64: the per-anti-diagonal Python dispatch is amortised over
+#: the whole bucket, and the slice-boundary compaction keeps the padding
+#: waste of a big sorted bucket small.
+DEFAULT_VECTOR_BUCKET_SIZE: int = 256
+
+#: Anti-diagonals whose geometry, shift selectors, lane masks, edges and
+#: substitution scores are precomputed in one shot.  Bounds the panel
+#: buffers to ``PANEL_WIDTH x bucket x lanes`` elements.
+PANEL_WIDTH: int = 32
+
+
+def _safe_int32(batch: TaskBatch, max_ad: int) -> bool:
+    """Whether the whole sweep provably fits ``int32`` arithmetic.
+
+    The buffer values live in ``[NEG_INF - (alpha + beta), score_max]``
+    where every score is bounded by the band cells times the largest
+    substitution magnitude plus the deepest edge cost.  When that range
+    (with generous margin) fits ``int32``, the 32-bit sweep performs the
+    exact same integer arithmetic as the 64-bit one -- results stay
+    bit-identical -- at half the memory traffic.  Pathological schemes
+    fall back to ``int64``.
+    """
+    if batch.size == 0:
+        return True
+    reach = int(max_ad) + 2
+    worst = (
+        int(batch.gap_open.max(initial=0))
+        + int(batch.gap_extend.max(initial=0)) * reach
+        + int(np.abs(batch.sub_stack).max(initial=0)) * reach
+        + int(np.abs(batch.term_threshold).max(initial=0))
+    )
+    return worst < 2**29
+
+
+class _Panel:
+    """Geometry, shift selectors, masks and match scores for a panel.
+
+    Everything here depends only on the band geometry and the packed
+    sequences -- never on the wavefront values -- so it is computed for
+    ``panel`` anti-diagonals with one set of whole-array operations and
+    indexed by in-panel step ``s`` during the sweep.
+    """
+
+    __slots__ = (
+        "lo",
+        "jlo",
+        "count",
+        "d1_val",
+        "d1_is1",
+        "d2_val",
+        "d2_is0",
+        "d2_is2",
+        "inv_mask",
+        "match",
+        "top_sel",
+        "top_lane",
+        "left_sel",
+        "edge_cost",
+        "diag_cost",
+    )
+
+    def __init__(
+        self,
+        p_lo: int,
+        p_hi: int,
+        *,
+        width: int,
+        ref_flat: np.ndarray,
+        ref_stride: int,
+        query_flat: np.ndarray,
+        query_stride: int,
+        ref_len: np.ndarray,
+        query_len: np.ndarray,
+        diag_lo: np.ndarray,
+        diag_hi: np.ndarray,
+        sub_flat: np.ndarray,
+        scheme_off: Optional[np.ndarray],
+        alpha: np.ndarray,
+        beta: np.ndarray,
+    ) -> None:
+        m = ref_len.shape[0]
+        span = p_hi - p_lo
+        self.lo = p_lo
+        # Lower row bound for anti-diagonals p_lo-2 .. p_hi-1 in one shot:
+        # the two extra leading rows give the shift deltas of the panel's
+        # first anti-diagonals.  For c < 0 the formula yields garbage, but
+        # those deltas are never *used*: at c = 0 both wavefront buffers
+        # are all-NEG_INF and at c = 1 the two-back buffer still is, so
+        # every shifted view reads NEG_INF whichever view is selected.
+        cs_ext = np.arange(p_lo - 2, p_hi, dtype=np.int64)[:, None]
+        jlo_ext = np.maximum(
+            np.maximum(cs_ext - ref_len[None, :] + 1, 0),
+            -((diag_hi[None, :] - cs_ext) // 2),
+        )
+        jlo = jlo_ext[2:]
+        d1 = jlo - jlo_ext[1:-1]
+        d2 = jlo - jlo_ext[:-2]
+        self.jlo = jlo
+        # Per-anti-diagonal uniform shift (or -1 when tasks disagree):
+        # when every live task shares one delta the select collapses to a
+        # single shifted view, no blend needed.
+        self.d1_val = np.where(
+            (d1 == d1[:, :1]).all(axis=1), d1[:, 0], -1
+        )
+        self.d1_is1 = (d1 == 1)[:, :, None]
+        self.d2_val = np.where(
+            (d2 == d2[:, :1]).all(axis=1), d2[:, 0], -1
+        )
+        self.d2_is0 = (d2 == 0)[:, :, None]
+        self.d2_is2 = (d2 == 2)[:, :, None]
+
+        cs = cs_ext[2:]
+        jhi = np.minimum(
+            np.minimum(query_len[None, :] - 1, cs), (cs - diag_lo[None, :]) // 2
+        )
+        count = np.maximum(jhi - jlo + 1, 0)
+        self.count = count
+
+        lane = np.arange(width, dtype=np.int32)
+        self.inv_mask = lane[None, None, :] >= count[:, :, None]
+
+        # Sequence codes through flat ``take`` gathers: the row/column of
+        # every in-band cell collapses to one int32 flat index per lane
+        # (clip mode soaks up the junk indices of empty lanes, whose
+        # match values are masked out of every observable anyway).
+        rows = jlo.astype(np.int32)[:, :, None] + lane
+        cols = cs.astype(np.int32)[:, :, None] - rows
+        rofs = (np.arange(m, dtype=np.int32) * ref_stride)[None, :, None]
+        qofs = (np.arange(m, dtype=np.int32) * query_stride)[None, :, None]
+        ref_codes = ref_flat.take(cols + rofs, mode="clip")
+        query_codes = query_flat.take(rows + qofs, mode="clip")
+        # Substitution scores from the flattened (scheme, ref, query)
+        # table; codes fit uint8, so with one scoring scheme the whole
+        # lookup is a 25-entry take.  ``sub_flat`` arrives pre-cast to
+        # the sweep dtype.
+        code = ref_codes * np.uint8(5) + query_codes
+        if scheme_off is not None:
+            code = code + scheme_off[None, :, None]
+        self.match = sub_flat.take(code)
+
+        # Matrix-edge cells: the top edge (i == 0) sits at lane c - j_lo
+        # exactly when the band still reaches row c; the left edge
+        # (j == 0) at lane 0 exactly when j_lo == 0.  Both edge H values
+        # on anti-diagonal c cost -(alpha + (c+1)*beta) and both diagonal
+        # predecessors -(alpha + c*beta) (the corner, c == 0, costs 0).
+        # Edges only exist while the band still touches the matrix rim,
+        # so most panels skip the whole block.
+        has_top = (jhi == cs) & (count > 0)
+        has_left = (jlo == 0) & (count > 0)
+        if has_top.any() or has_left.any():
+            self.top_lane = cs - jlo
+            self.edge_cost = -(alpha[None, :] + (cs + 1) * beta[None, :])
+            self.diag_cost = -(alpha[None, :] + cs * beta[None, :])
+            self.top_sel: Optional[List[np.ndarray]] = [
+                np.flatnonzero(has_top[s]) for s in range(span)
+            ]
+            self.left_sel = [np.flatnonzero(has_left[s]) for s in range(span)]
+        else:
+            self.top_lane = self.edge_cost = self.diag_cost = None
+            self.top_sel = None
+            self.left_sel = None
+
+
+def _panels(lo: int, hi: int) -> List[tuple[int, int]]:
+    """Cut ``[lo, hi)`` into precompute panels of ``PANEL_WIDTH``."""
+    return [(p, min(p + PANEL_WIDTH, hi)) for p in range(lo, hi, PANEL_WIDTH)]
+
+
+def _sweep(
+    batch: TaskBatch,
+    *,
+    return_profiles: bool,
+    slice_width: Optional[int] = None,
+) -> Union[List[AlignmentResult], List[AlignmentProfile]]:
+    """Whole-array wavefront sweep over every task of ``batch`` at once.
+
+    Mirrors :func:`repro.align.batch._sweep` observable for observable;
+    see the module docstring for what is hoisted out of the loop.
+    """
+    n = batch.size
+    if n == 0:
+        return []
+    max_ad = int(batch.num_antidiagonals.max(initial=0))
+    # 32-bit buffers when the value range provably allows it: identical
+    # integer arithmetic, half the memory traffic.
+    dt = np.int32 if _safe_int32(batch, max_ad) else np.int64
+    sub_flat = np.ascontiguousarray(batch.sub_stack.astype(dt, copy=False)).reshape(-1)
+    n_schemes = batch.sub_stack.shape[0]
+
+    # Input-order accumulators, written back from the live arrays at
+    # every compaction boundary and at the end of the sweep.
+    best_score = np.full(n, NEG_INF, dtype=np.int64)
+    best_i = np.full(n, -1, dtype=np.int64)
+    best_j = np.full(n, -1, dtype=np.int64)
+    fired = np.zeros(n, dtype=bool)
+    ad_count = np.zeros(n, dtype=np.int64)
+    cells_count = np.zeros(n, dtype=np.int64)
+    if return_profiles:
+        maxima_buf = np.zeros((n, max_ad), dtype=np.int64)
+        cells_buf = np.zeros((n, max_ad), dtype=np.int64)
+
+    # Live per-task vectors (compacted in lock step with the buffers).
+    orig = np.arange(n)
+    ref_buf = batch.ref_buf
+    query_buf = batch.query_buf
+    ref_len = batch.ref_len
+    query_len = batch.query_len
+    diag_lo = batch.diag_lo
+    diag_hi = batch.diag_hi
+    num_ad = batch.num_antidiagonals
+    scheme_idx = batch.scheme_idx
+    term_threshold = batch.term_threshold
+    z_sel = batch.term_kind == _TERM_ZDROP
+    x_sel = batch.term_kind == _TERM_XDROP
+    alpha = batch.gap_open
+    beta = batch.gap_extend
+    open_col = (alpha + beta)[:, None].astype(dt)
+    beta_col = beta[:, None].astype(dt)
+
+    # Live accumulators (same values as the input-order ones above, kept
+    # compact so the per-anti-diagonal update never fancy-indexes).
+    l_best = np.full(n, NEG_INF, dtype=np.int64)
+    l_bi = np.full(n, -1, dtype=np.int64)
+    l_bj = np.full(n, -1, dtype=np.int64)
+    l_fired = np.zeros(n, dtype=bool)
+    l_adc = np.zeros(n, dtype=np.int64)
+    l_cells = np.zeros(n, dtype=np.int64)
+
+    def flush() -> None:
+        best_score[orig] = l_best
+        best_i[orig] = l_bi
+        best_j[orig] = l_bj
+        fired[orig] = l_fired
+        ad_count[orig] = l_adc
+        cells_count[orig] = l_cells
+
+    m = n
+    width = batch.max_lanes
+    task_idx = np.arange(m)
+
+    # Guard-padded wavefront buffers: lane l of anti-diagonal c-1 (ha) and
+    # c-2 (hb) lives in column l+1; columns 0 and width+1 stay NEG_INF so
+    # shifted views that step outside the window read NEG_INF, exactly
+    # like the batch engine's bounds-checked gathers.  E and F are stored
+    # pre-combined with their H alternative -- ``ge = max(H - open,
+    # E - extend)`` and ``gf = max(H - open, F - extend)`` -- so the next
+    # anti-diagonal recovers E/F with one shifted read and one clamp.
+    ha = np.full((m, width + 2), NEG_INF, dtype=dt)
+    hb = np.full((m, width + 2), NEG_INF, dtype=dt)
+    geb = np.full((m, width + 2), NEG_INF, dtype=dt)
+    gfb = np.full((m, width + 2), NEG_INF, dtype=dt)
+
+    # Flat sequence views and per-task scheme offsets for the panel's
+    # take-based gathers, plus per-anti-diagonal scratch arrays so the
+    # hot loop allocates nothing (every ufunc writes through ``out=``).
+    def epoch_setup():
+        ref_flat = np.ascontiguousarray(ref_buf).reshape(-1)
+        query_flat = np.ascontiguousarray(query_buf).reshape(-1)
+        scheme_off = (
+            None if n_schemes == 1 else (scheme_idx * 25).astype(np.int32)
+        )
+        e_scr = np.empty((m, width), dtype=dt)
+        f_scr = np.empty((m, width), dtype=dt)
+        d_scr = np.empty((m, width), dtype=dt)
+        h_scr = np.empty((m, width), dtype=dt)
+        guard = np.empty((m, width), dtype=bool)
+        return ref_flat, query_flat, scheme_off, e_scr, f_scr, d_scr, h_scr, guard
+
+    (
+        ref_flat,
+        query_flat,
+        scheme_off,
+        e_scr,
+        f_scr,
+        d_scr,
+        h_scr,
+        guard,
+    ) = epoch_setup()
+
+    spans = (
+        [(0, max_ad)] if slice_width is None else slice_ranges(max_ad, slice_width)
+    )
+    min_ad = int(num_ad.min())
+    any_fired = False
+    exhausted = False
+    for slice_lo, slice_hi in spans:
+        if exhausted:
+            break
+        if slice_lo > 0:
+            # Slice boundary: compact terminated and completed tasks out
+            # of the buffers (identical policy to the batch engine).
+            keep = ~l_fired & (num_ad > slice_lo)
+            if not keep.all():
+                flush()
+                live = np.flatnonzero(keep)
+                if live.size == 0:
+                    break
+                orig = orig[live]
+                ref_len = ref_len[live]
+                query_len = query_len[live]
+                diag_lo = diag_lo[live]
+                diag_hi = diag_hi[live]
+                num_ad = num_ad[live]
+                scheme_idx = scheme_idx[live]
+                term_threshold = term_threshold[live]
+                z_sel = z_sel[live]
+                x_sel = x_sel[live]
+                alpha = alpha[live]
+                beta = beta[live]
+                open_col = (alpha + beta)[:, None].astype(dt)
+                beta_col = beta[:, None].astype(dt)
+                l_best = l_best[live]
+                l_bi = l_bi[live]
+                l_bj = l_bj[live]
+                l_fired = l_fired[live]
+                l_adc = l_adc[live]
+                l_cells = l_cells[live]
+                lanes = _lane_bounds(ref_len, query_len, diag_lo, diag_hi)
+                new_width = int(max(lanes.max(initial=0), 0))
+                ref_buf = ref_buf[live, : max(int(ref_len.max(initial=0)), 1)]
+                query_buf = query_buf[
+                    live, : max(int(query_len.max(initial=0)), 1)
+                ]
+                ha = ha[live, : new_width + 2].copy()
+                hb = hb[live, : new_width + 2].copy()
+                geb = geb[live, : new_width + 2].copy()
+                gfb = gfb[live, : new_width + 2].copy()
+                ha[:, -1] = NEG_INF
+                hb[:, -1] = NEG_INF
+                geb[:, -1] = NEG_INF
+                gfb[:, -1] = NEG_INF
+                width = new_width
+                m = live.size
+                task_idx = np.arange(m)
+                min_ad = int(num_ad.min())
+                any_fired = bool(l_fired.any())
+                (
+                    ref_flat,
+                    query_flat,
+                    scheme_off,
+                    e_scr,
+                    f_scr,
+                    d_scr,
+                    h_scr,
+                    guard,
+                ) = epoch_setup()
+
+        for p_lo, p_hi in _panels(slice_lo, slice_hi):
+            if exhausted:
+                break
+            panel = _Panel(
+                p_lo,
+                p_hi,
+                width=width,
+                ref_flat=ref_flat,
+                ref_stride=ref_buf.shape[1],
+                query_flat=query_flat,
+                query_stride=query_buf.shape[1],
+                ref_len=ref_len,
+                query_len=query_len,
+                diag_lo=diag_lo,
+                diag_hi=diag_hi,
+                sub_flat=sub_flat,
+                scheme_off=scheme_off,
+                alpha=alpha,
+                beta=beta,
+            )
+            for s in range(p_hi - p_lo):
+                c = p_lo + s
+                # Fast path: while nothing has fired and every live task
+                # still has anti-diagonals left, the active mask is all
+                # ones and never needs materialising.
+                all_active = not any_fired and c < min_ad
+                if all_active:
+                    active = None
+                else:
+                    active = ~l_fired & (c < num_ad)
+                    if not active.any():
+                        exhausted = True
+                        break
+
+                cnt = panel.count[s]
+                if active is None:
+                    inv_s = panel.inv_mask[s]
+                else:
+                    cnt = np.where(active, cnt, 0)
+                    inv_s = panel.inv_mask[s] | ~active[:, None]
+
+                # Previous wavefront through shifted views: between
+                # anti-diagonals j_lo grows by delta1 in {0, 1} (and by
+                # delta2 in {0, 1, 2} over two), so lane l of the new
+                # window maps to stored column l + delta + offset.  When
+                # every task shares one delta the select is a plain view;
+                # mixed deltas blend with masked copies into the scratch.
+                d1v = panel.d1_val[s]
+                if d1v == 1:
+                    np.maximum(geb[:, 2:], NEG_INF, out=e_scr)
+                    np.maximum(gfb[:, 1:-1], NEG_INF, out=f_scr)
+                elif d1v == 0:
+                    np.maximum(geb[:, 1:-1], NEG_INF, out=e_scr)
+                    np.maximum(gfb[:, :-2], NEG_INF, out=f_scr)
+                else:
+                    d1b = panel.d1_is1[s]
+                    np.copyto(e_scr, geb[:, 1:-1])
+                    np.copyto(e_scr, geb[:, 2:], where=d1b)
+                    np.maximum(e_scr, NEG_INF, out=e_scr)
+                    np.copyto(f_scr, gfb[:, :-2])
+                    np.copyto(f_scr, gfb[:, 1:-1], where=d1b)
+                    np.maximum(f_scr, NEG_INF, out=f_scr)
+
+                d2v = panel.d2_val[s]
+                if d2v == 0:
+                    diag_h: np.ndarray = hb[:, :-2]
+                elif d2v == 1:
+                    diag_h = hb[:, 1:-1]
+                elif d2v == 2:
+                    diag_h = hb[:, 2:]
+                else:
+                    np.copyto(d_scr, hb[:, 1:-1])
+                    np.copyto(d_scr, hb[:, :-2], where=panel.d2_is0[s])
+                    np.copyto(d_scr, hb[:, 2:], where=panel.d2_is2[s])
+                    diag_h = d_scr
+                match_s = panel.match[s]
+                np.less_equal(diag_h, NEG_INF, out=guard)
+                np.add(diag_h, match_s, out=d_scr)
+                np.copyto(d_scr, NEG_INF, where=guard)
+
+                # Matrix-edge overrides (rare: only while the band still
+                # touches row 0 or column 0).  E at a top edge is
+                # max(edge_H - open, NEG_INF - extend) clamped, i.e. the
+                # clamped edge cost minus the open cost; a forced diagonal
+                # predecessor always beats the NEG_INF guard, so it folds
+                # straight into diag_val.  Masked stores make a fired
+                # task's override harmless, so `active` is not consulted.
+                if panel.top_sel is not None:
+                    tsel = panel.top_sel[s]
+                    lsel = panel.left_sel[s]
+                    if tsel.size or lsel.size:
+                        ecost = panel.edge_cost[s]
+                        dcost = panel.diag_cost[s]
+                        oc_edge = alpha + beta
+                        if tsel.size:
+                            tl = panel.top_lane[s][tsel]
+                            e_scr[tsel, tl] = np.maximum(
+                                ecost[tsel] - oc_edge[tsel], NEG_INF
+                            )
+                            # c == 0 is the corner: the diagonal
+                            # predecessor is the origin with score 0,
+                            # not an edge cost.
+                            d_scr[tsel, tl] = (
+                                dcost[tsel] if c > 0 else 0
+                            ) + match_s[tsel, tl]
+                        if lsel.size:
+                            f_scr[lsel, 0] = np.maximum(
+                                ecost[lsel] - oc_edge[lsel], NEG_INF
+                            )
+                            if c > 0:
+                                d_scr[lsel, 0] = dcost[lsel] + match_s[lsel, 0]
+
+                # E and F are already clamped at NEG_INF, so the H
+                # maximum needs no extra clamp.
+                np.maximum(e_scr, f_scr, out=h_scr)
+                np.maximum(h_scr, d_scr, out=h_scr)
+                np.copyto(h_scr, NEG_INF, where=inv_s)
+                h_m = h_scr
+
+                k = np.argmax(h_m, axis=1)
+                local_best = h_m[task_idx, k]
+                local_j = panel.jlo[s] + k
+                local_i = c - local_j
+
+                if active is None:
+                    l_adc += 1
+                else:
+                    l_adc += active
+                l_cells += cnt
+                if return_profiles:
+                    if active is None:
+                        maxima_buf[orig, c] = np.where(
+                            cnt > 0, local_best, NEG_INF
+                        )
+                        cells_buf[orig, c] = cnt
+                    else:
+                        maxima_buf[orig[active], c] = np.where(
+                            cnt > 0, local_best, NEG_INF
+                        )[active]
+                        cells_buf[orig[active], c] = cnt[active]
+
+                # Termination: check against the pre-update global
+                # maximum, then fold the local maximum in (the exact
+                # ordering of TerminationCondition.update).
+                cond = local_best > NEG_INF
+                if active is not None:
+                    cond &= active
+                drop = l_best - local_best
+                diag_offset = np.abs((local_i - l_bi) - (local_j - l_bj))
+                fire = (
+                    cond
+                    & (l_best > NEG_INF)
+                    & (
+                        (z_sel & (drop > term_threshold + beta * diag_offset))
+                        | (x_sel & (drop > term_threshold))
+                    )
+                )
+                if fire.any():
+                    l_fired |= fire
+                    any_fired = True
+                improve = cond & ~fire & (local_best > l_best)
+                l_best = np.where(improve, local_best, l_best)
+                l_bi = np.where(improve, local_i, l_bi)
+                l_bj = np.where(improve, local_j, l_bj)
+
+                # Advance: the two-back H buffer becomes this
+                # anti-diagonal's store (masked, like the batch engine's
+                # count-bounded reads) and the roles swap; E/F are stored
+                # pre-combined with H so the next anti-diagonal reads one
+                # buffer per direction.
+                hb[:, 1:-1] = h_m
+                np.subtract(h_m, open_col, out=d_scr)
+                np.copyto(e_scr, NEG_INF, where=inv_s)
+                np.subtract(e_scr, beta_col, out=e_scr)
+                np.maximum(d_scr, e_scr, out=geb[:, 1:-1])
+                np.copyto(f_scr, NEG_INF, where=inv_s)
+                np.subtract(f_scr, beta_col, out=f_scr)
+                np.maximum(d_scr, f_scr, out=gfb[:, 1:-1])
+                ha, hb = hb, ha
+
+    flush()
+    score = np.where(best_score > NEG_INF, best_score, 0)
+    results = [
+        AlignmentResult(
+            score=int(score[b]),
+            max_i=int(best_i[b]),
+            max_j=int(best_j[b]),
+            terminated=bool(fired[b]),
+            antidiagonals_processed=int(ad_count[b]),
+            cells_computed=int(cells_count[b]),
+        )
+        for b in range(n)
+    ]
+    if not return_profiles:
+        return results
+    profiles = []
+    for b, (task, result) in enumerate(zip(batch.tasks, results)):
+        processed = int(ad_count[b])
+        profiles.append(
+            AlignmentProfile(
+                result=result,
+                antidiag_maxima=maxima_buf[b, :processed].copy(),
+                cells_per_antidiag=cells_buf[b, :processed].copy(),
+                geometry=BandGeometry(
+                    task.ref_len, task.query_len, task.scoring.band_width
+                ),
+            )
+        )
+    return profiles
+
+
+@overload
+def vector_align(
+    tasks: Sequence[AlignmentTask],
+    *,
+    termination: str = ...,
+    bucket_size: int = ...,
+    return_profiles: Literal[False] = ...,
+    slice_width: Optional[int] = ...,
+) -> List[AlignmentResult]: ...
+
+
+@overload
+def vector_align(
+    tasks: Sequence[AlignmentTask],
+    *,
+    termination: str = ...,
+    bucket_size: int = ...,
+    return_profiles: Literal[True],
+    slice_width: Optional[int] = ...,
+) -> List[AlignmentProfile]: ...
+
+
+def vector_align(
+    tasks: Sequence[AlignmentTask],
+    *,
+    termination: str = "zdrop",
+    bucket_size: int = DEFAULT_VECTOR_BUCKET_SIZE,
+    return_profiles: bool = False,
+    slice_width: Optional[int] = DEFAULT_SLICE_WIDTH,
+) -> Union[List[AlignmentResult], List[AlignmentProfile]]:
+    """Align every task with the whole-array vector engine.
+
+    Same contract as :func:`repro.align.batch.batch_align` -- tasks are
+    bucketed by anti-diagonal count, every bucket is swept at once, and
+    the outputs come back in input order, bit-identical to the batch
+    engine and the scalar oracle.  Only the defaults differ: buckets are
+    larger (:data:`DEFAULT_VECTOR_BUCKET_SIZE`) and sliced compaction is
+    on by default (pass ``slice_width=None`` for a dense sweep).
+    """
+    if slice_width is not None and slice_width <= 0:
+        raise ValueError("slice_width must be positive (or None for dense)")
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    workloads = [t.num_antidiagonals for t in tasks]
+    out: List = [None] * len(tasks)
+    for bucket in length_bucket_order(workloads, bucket_size):
+        batch = pack_tasks([tasks[i] for i in bucket], termination)
+        swept = _sweep(
+            batch, return_profiles=return_profiles, slice_width=slice_width
+        )
+        for i, item in zip(bucket, swept):
+            out[i] = item
+    return out

@@ -38,6 +38,7 @@ from repro.api.engines import (
     engine_names,
     get_engine,
     register_engine,
+    unavailable_engines,
 )
 from repro.api.suites import (
     ABLATION_LADDER,
@@ -94,6 +95,7 @@ __all__ = [
     "register_engine",
     "get_engine",
     "engine_names",
+    "unavailable_engines",
     "register_kernel",
     "get_kernel",
     "kernel_names",

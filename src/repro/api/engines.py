@@ -17,6 +17,15 @@ engines are built in:
     heterogeneous early-terminating workloads skip the post-termination
     padding work.  Bit-identical to both other engines
     (docs/ENGINES.md).
+``"vector"``
+    The whole-array NumPy engine (:mod:`repro.align.vector`): panels of
+    anti-diagonals precomputed in one shot, shifted-view H/E/F updates,
+    sliced compaction like ``batch-sliced`` -- bit-identical to every
+    other engine and several times faster than ``batch``.  Registered
+    only when NumPy is importable: NumPy is the optional ``[vector]``
+    extra, and a NumPy-less install simply lacks the name
+    (:func:`unavailable_engines` reports it, and :func:`get_engine`
+    mentions the extra in its error).
 
 New backends register under a name and immediately become usable by
 :class:`repro.api.Session`, :class:`repro.pipeline.mapper.LongReadMapper`
@@ -55,6 +64,7 @@ __all__ = [
     "register_engine",
     "get_engine",
     "engine_names",
+    "unavailable_engines",
     "align_tasks",
 ]
 
@@ -76,13 +86,37 @@ def register_engine(
 
 
 def get_engine(name: str) -> AlignmentEngine:
-    """Resolve an engine by name (KeyError lists the registered names)."""
-    return ENGINES.get(name)
+    """Resolve an engine by name (KeyError lists the registered names).
+
+    Asking for an engine that exists but could not be registered because
+    its optional dependency is missing gets a KeyError that says how to
+    install it, not just the list of available names.
+    """
+    try:
+        return ENGINES.get(name)
+    except KeyError:
+        if name in _UNAVAILABLE:
+            raise KeyError(
+                f"engine {name!r} is known but unavailable: {_UNAVAILABLE[name]}"
+            ) from None
+        raise
 
 
 def engine_names() -> Tuple[str, ...]:
     """Registered engine names in registration order."""
     return ENGINES.names()
+
+
+def unavailable_engines() -> dict[str, str]:
+    """Known engines that failed to register, mapped to the reason.
+
+    Today this covers exactly the optional-dependency path: on an
+    install without NumPy (the ``[vector]`` extra) the ``"vector"``
+    engine is absent from :func:`engine_names` and shows up here with
+    the ImportError text explaining how to enable it.  Empty when every
+    built-in engine registered.
+    """
+    return dict(_UNAVAILABLE)
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +155,38 @@ def sliced_batch_engine(
     tasks sweep in smaller matrices.
     """
     return batch_align(tasks, bucket_size=batch_size, slice_width=slice_width)
+
+
+#: Engines whose registration was skipped, mapped to the reason why.
+_UNAVAILABLE: dict[str, str] = {}
+
+try:
+    from repro.align.vector import (
+        DEFAULT_VECTOR_BUCKET_SIZE,
+        vector_align,
+    )
+except ImportError as _vector_exc:
+    # NumPy (the optional [vector] extra) is missing: keep the
+    # pure-Python install fully working and report the engine by name.
+    _UNAVAILABLE["vector"] = str(_vector_exc)
+else:
+
+    @register_engine("vector")
+    def vector_engine(
+        tasks: Sequence[AlignmentTask],
+        *,
+        batch_size: int = DEFAULT_VECTOR_BUCKET_SIZE,
+        slice_width: int = DEFAULT_SLICE_WIDTH,
+    ) -> List[AlignmentResult]:
+        """Whole-array NumPy engine; bit-identical to ``"batch"``.
+
+        Same sliced compaction policy as ``"batch-sliced"``, but every
+        anti-diagonal of a bucket is evaluated with whole-array integer
+        ufuncs instead of per-lane Python loops.
+        """
+        return vector_align(
+            tasks, bucket_size=batch_size, slice_width=slice_width
+        )
 
 
 # ----------------------------------------------------------------------

@@ -129,7 +129,7 @@ class Session:
     >>> Session(tasks=[task], engine="warp-9")
     Traceback (most recent call last):
         ...
-    KeyError: "unknown engine 'warp-9'; available: ['scalar', 'batch', 'batch-sliced']"
+    KeyError: "unknown engine 'warp-9'; available: ['scalar', 'batch', 'batch-sliced', 'vector']"
     """
 
     def __init__(

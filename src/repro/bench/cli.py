@@ -82,7 +82,8 @@ def _run_parser() -> argparse.ArgumentParser:
         help="batch-capable engine that primes task profiles inside each "
         "cell (KernelConfig.scoring_engine); results and records are "
         "bit-identical either way, batch-sliced skips post-termination "
-        "sweep work (default: batch)",
+        "sweep work and vector (requires the [vector] extra) does the "
+        "same with whole-array NumPy sweeps (default: batch)",
     )
     parser.add_argument(
         "--output",
@@ -129,6 +130,14 @@ def _compare_parser() -> argparse.ArgumentParser:
         type=float,
         default=DEFAULT_TOLERANCE,
         help=f"allowed relative geomean drop (default: {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--suites",
+        nargs="+",
+        metavar="SUITE",
+        help="compare only these baseline suites (default: all of them); "
+        "lets one combined baseline gate records that each carry a "
+        "subset of its suites",
     )
     return parser
 
@@ -226,7 +235,9 @@ def _compare_main(argv: Sequence[str]) -> int:
     args = _compare_parser().parse_args(argv)
     baseline = BenchRecord.load(args.baseline)
     current = BenchRecord.load(args.current)
-    report = compare_records(baseline, current, tolerance=args.tolerance)
+    report = compare_records(
+        baseline, current, tolerance=args.tolerance, suites=args.suites
+    )
     print(format_report(report, baseline_name=args.baseline, current_name=args.current))
     return report.exit_code()
 

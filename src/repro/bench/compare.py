@@ -17,7 +17,7 @@ intentional model retunes, not measurement noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.bench.records import BenchRecord
 
@@ -118,12 +118,30 @@ def compare_records(
     baseline: BenchRecord,
     current: BenchRecord,
     tolerance: float = DEFAULT_TOLERANCE,
+    suites: Optional[Sequence[str]] = None,
 ) -> ComparisonReport:
-    """Compare ``current`` against ``baseline`` within ``tolerance``."""
+    """Compare ``current`` against ``baseline`` within ``tolerance``.
+
+    ``suites`` restricts the comparison to the named baseline suites, so
+    one combined baseline file can gate records that each carry only a
+    slice of it (the fig08 suites vs the ``sliced``/``vector`` engine
+    suites, say) without the absent suites reading as coverage gaps.
+    Asking for a suite the baseline does not have is an error, not a
+    silent no-op.
+    """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError("tolerance must be in [0, 1)")
+    if suites is not None:
+        unknown = [name for name in suites if name not in baseline.suites]
+        if unknown:
+            raise KeyError(
+                f"baseline has no suite(s) {unknown}; it has "
+                f"{sorted(baseline.suites)}"
+            )
     report = ComparisonReport(tolerance=tolerance)
     for suite_name, base_suite in baseline.suites.items():
+        if suites is not None and suite_name not in suites:
+            continue
         cur_suite = current.suites.get(suite_name)
         if cur_suite is None:
             report.missing.append(

@@ -23,7 +23,7 @@ may override :meth:`order_tasks` (scheduling) and :meth:`warp_cycles`
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as _dc_replace
-from typing import List, Sequence
+from typing import Any, Callable, List, Sequence
 
 from repro.align.batch import (
     DEFAULT_BUCKET_SIZE,
@@ -105,6 +105,22 @@ class KernelConfig:
         """Compaction slice width implied by ``scoring_engine``."""
         return ENGINE_SLICE_WIDTHS[self.scoring_engine]
 
+    def scoring_align(self) -> Callable[..., Any]:
+        """The batch-capable align callable behind ``scoring_engine``.
+
+        ``"batch"`` and ``"batch-sliced"`` resolve to
+        :func:`repro.align.batch.batch_align`; ``"vector"`` resolves its
+        optional NumPy dependency here, at scoring time, so merely
+        constructing a config never imports NumPy and a NumPy-less
+        install gets the ImportError (with the ``[vector]`` extra hint)
+        only when the engine is actually asked to score.
+        """
+        if self.scoring_engine == "vector":
+            from repro.align.vector import vector_align
+
+            return vector_align
+        return batch_align
+
     @property
     def subwarps_per_warp(self) -> int:
         return split_warp(self.subwarp_size)
@@ -154,7 +170,7 @@ class GuidedKernel:
         missing = [task for task in tasks if task._profile is None]
         if not missing:
             return
-        profiles = batch_align(
+        profiles = self.config.scoring_align()(
             missing,
             bucket_size=self.config.batch_bucket_size,
             return_profiles=True,
@@ -172,7 +188,7 @@ class GuidedKernel:
         those results deliberately differ from the cached Z-drop profiles,
         so they are computed fresh and not cached on the tasks.
         """
-        return batch_align(
+        return self.config.scoring_align()(
             tasks,
             termination=termination,
             bucket_size=self.config.batch_bucket_size,
