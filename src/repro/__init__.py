@@ -69,6 +69,12 @@ _EXPORTS = {
     "get_suite": "repro.api",
     "engine_names": "repro.api",
     "unavailable_engines": "repro.api",
+    "supports_streaming": "repro.api",
+    "open_batch": "repro.api",
+    "EngineOptions": "repro.api",
+    "InFlightBatch": "repro.api",
+    "OneShotBatch": "repro.api",
+    "SliceStats": "repro.api",
     "kernel_names": "repro.api",
     "suite_names": "repro.api",
     "build_suite": "repro.api",
@@ -98,9 +104,12 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
         AlignmentService,
         ComparisonOutcome,
         CpuSummary,
+        EngineOptions,
+        InFlightBatch,
         KernelSummary,
         LoadGenerator,
         MappingOutcome,
+        OneShotBatch,
         Registry,
         RegistryError,
         RequestTrace,
@@ -108,6 +117,7 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
         ServeReport,
         Session,
         SimulationOutcome,
+        SliceStats,
         SuiteEntry,
         SuiteSpec,
         align_tasks,
@@ -121,11 +131,13 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
         get_kernel,
         get_suite,
         kernel_names,
+        open_batch,
         register_engine,
         unavailable_engines,
         register_kernel,
         register_suite,
         suite_names,
+        supports_streaming,
     )
     from repro.bench.records import BenchRecord  # noqa: F401
 

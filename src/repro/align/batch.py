@@ -63,19 +63,34 @@ termination anti-diagonals, work counters and profiles stay bit-identical
 to the scalar oracle; only the buffer bookkeeping -- and therefore the
 wall-clock -- changes.  ``tests/align/test_sliced_batch.py`` pins the
 equivalence, ``benchmarks/test_sliced_engine.py`` the speedup.
+
+Streaming: the in-flight batch
+------------------------------
+The sweep itself is implemented as a *resumable stream*
+(:class:`BatchStream`, implementing the
+:class:`repro.align.streaming.InFlightBatch` contract): every task
+carries its own anti-diagonal offset (``start``), so its local
+anti-diagonal index is ``global_step - start`` and a task admitted at
+any slice boundary sweeps exactly as if it had started a fresh batch --
+every use of the anti-diagonal counter is per-task-elementwise, which is
+what makes mid-stream admission bit-exact.  ``step()`` advances one
+slice and retires finished tasks; ``admit()`` injects new tasks into the
+lanes compaction freed.  :func:`batch_align` is now a thin
+open-everything-then-drain wrapper, so the whole existing equivalence
+suite pins the stream's arithmetic too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Literal, Optional, Sequence, Union, overload
+from typing import Dict, List, Literal, Optional, Sequence, Tuple, Union, overload
 
 import numpy as np
 
 from repro.align.banding import BandGeometry
+from repro.align.streaming import SliceStats
 from repro.align.termination import NEG_INF
 from repro.align.types import AlignmentProfile, AlignmentResult, AlignmentTask
-from repro.core.sliced_diagonal import slice_ranges
 from repro.core.uneven_bucketing import length_bucket_order
 
 __all__ = [
@@ -83,6 +98,7 @@ __all__ = [
     "DEFAULT_SLICE_WIDTH",
     "ENGINE_SLICE_WIDTHS",
     "TaskBatch",
+    "BatchStream",
     "pack_tasks",
     "batch_align",
 ]
@@ -291,140 +307,364 @@ def _gather_lanes(
     return np.where(valid, gathered, NEG_INF)
 
 
-def _sweep(
-    batch: TaskBatch,
-    *,
-    return_profiles: bool,
-    slice_width: Optional[int] = None,
-) -> Union[List[AlignmentResult], List[AlignmentProfile]]:
-    """Run the banded wavefront DP over every task of ``batch`` at once.
+class BatchStream:
+    """Resumable struct-of-arrays sweep: the ``batch`` engines' in-flight
+    batch (:class:`repro.align.streaming.InFlightBatch`).
 
-    With ``slice_width=None`` the sweep is dense: every task keeps its
-    buffer rows until the bucket finishes.  With a positive
-    ``slice_width`` the sweep compacts terminated/completed tasks out of
-    the struct-of-arrays buffers at every slice boundary (see the module
-    docstring); the arithmetic -- and therefore every output -- is
-    identical either way.
+    The dense and sliced one-shot engines are ``BatchStream(tasks).drain()``
+    with the matching ``slice_width``; the serve scheduler instead holds a
+    long-lived stream, interleaving :meth:`step` with :meth:`admit` so new
+    requests occupy the lanes that slice-boundary compaction freed.
+
+    Exactness hinges on one generalisation: the sweep keeps a *global*
+    step counter and a per-task admission offset (``start``), and every
+    task's local anti-diagonal index is ``global_step - start``.  All
+    uses of the anti-diagonal counter -- band row ranges, edge costs,
+    termination bookkeeping, profile columns -- are elementwise per task,
+    and a freshly admitted task's wavefront rows are all-``NEG_INF`` with
+    zero valid lanes, exactly the state a fresh sweep starts from.  Tasks
+    only interact through buffer *shape* (masked out of all arithmetic),
+    so a task's results are independent of who shares its buffers or
+    when it was admitted.
     """
-    n = batch.size
-    if n == 0:
-        return []
-    max_ad = int(batch.num_antidiagonals.max(initial=0))
 
-    # Input-order accumulators.  They stay full-size for the whole sweep;
-    # the live task-axis arrays below may shrink at slice boundaries, and
-    # ``orig`` maps live rows back to input positions.
-    best_score = np.full(n, NEG_INF, dtype=np.int64)
-    best_i = np.full(n, -1, dtype=np.int64)
-    best_j = np.full(n, -1, dtype=np.int64)
-    fired = np.zeros(n, dtype=bool)
-    ad_count = np.zeros(n, dtype=np.int64)
-    cells_count = np.zeros(n, dtype=np.int64)
-    if return_profiles:
-        maxima_buf = np.zeros((n, max_ad), dtype=np.int64)
-        cells_buf = np.zeros((n, max_ad), dtype=np.int64)
+    def __init__(
+        self,
+        tasks: Sequence[AlignmentTask] = (),
+        *,
+        capacity: Optional[int] = None,
+        slice_width: Optional[int] = DEFAULT_SLICE_WIDTH,
+        termination: str = "zdrop",
+        collect_profiles: bool = False,
+    ) -> None:
+        if slice_width is not None and slice_width <= 0:
+            raise ValueError("slice_width must be positive (or None for dense)")
+        if termination not in _TERMINATION_KINDS:
+            raise ValueError(
+                f"unknown termination kind {termination!r}; "
+                f"expected one of {_TERMINATION_KINDS}"
+            )
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._slice_width = slice_width
+        self._termination = termination
+        self._collect_profiles = collect_profiles
+        self._g = 0  # global anti-diagonal step counter
+        self._since_admit = 0
+        self._stats: List[SliceStats] = []
+        self._fresh: List[Tuple[int, AlignmentResult]] = []
 
-    # Live per-task vectors (compacted in lock step with the buffers).
-    orig = np.arange(n)
-    ref_buf = batch.ref_buf
-    query_buf = batch.query_buf
-    ref_len = batch.ref_len
-    query_len = batch.query_len
-    diag_lo = batch.diag_lo
-    diag_hi = batch.diag_hi
-    num_ad = batch.num_antidiagonals
-    scheme_idx = batch.scheme_idx
-    term_kind = batch.term_kind
-    term_threshold = batch.term_threshold
-    alpha = batch.gap_open
-    beta = batch.gap_extend
-    open_cost = alpha + beta
+        # Admission-order records (grow with every admit()).
+        self._tasks: List[AlignmentTask] = []
+        self._results: List[Optional[AlignmentResult]] = []
+        self._best_score = np.full(0, NEG_INF, dtype=np.int64)
+        self._best_i = np.full(0, -1, dtype=np.int64)
+        self._best_j = np.full(0, -1, dtype=np.int64)
+        self._fired = np.zeros(0, dtype=bool)
+        self._ad_count = np.zeros(0, dtype=np.int64)
+        self._cells_count = np.zeros(0, dtype=np.int64)
+        self._maxima_buf = np.zeros((0, 0), dtype=np.int64)
+        self._cells_buf = np.zeros((0, 0), dtype=np.int64)
 
-    m = n
-    width = batch.max_lanes
-    task_idx = np.arange(m)
-    lane = np.arange(width, dtype=np.int64)[None, :]
+        # The stream-wide substitution stack (schemes deduplicated across
+        # admissions, like pack_tasks does within one batch).
+        self._scheme_table: Dict[object, int] = {}
+        self._sub_mats: List[np.ndarray] = []
+        self._sub_stack = np.zeros((1, 5, 5), dtype=np.int64)
 
-    # Wavefront state: anti-diagonal c-1 (H/E/F) and c-2 (H only), each
-    # with its per-task row offset and valid lane count.
-    h1 = np.full((m, width), NEG_INF, dtype=np.int64)
-    e1 = np.full((m, width), NEG_INF, dtype=np.int64)
-    f1 = np.full((m, width), NEG_INF, dtype=np.int64)
-    lo1 = np.zeros(m, dtype=np.int64)
-    cnt1 = np.zeros(m, dtype=np.int64)
-    h2 = np.full((m, width), NEG_INF, dtype=np.int64)
-    lo2 = np.zeros(m, dtype=np.int64)
-    cnt2 = np.zeros(m, dtype=np.int64)
+        # Live task-axis state (compacted at every slice boundary).
+        self._m = 0
+        self._width = 0
+        self._orig = np.zeros(0, dtype=np.intp)
+        self._ref_buf = np.zeros((0, 1), dtype=np.uint8)
+        self._query_buf = np.zeros((0, 1), dtype=np.uint8)
+        self._ref_len = np.zeros(0, dtype=np.int64)
+        self._query_len = np.zeros(0, dtype=np.int64)
+        self._diag_lo = np.zeros(0, dtype=np.int64)
+        self._diag_hi = np.zeros(0, dtype=np.int64)
+        self._num_ad = np.zeros(0, dtype=np.int64)
+        self._scheme_idx = np.zeros(0, dtype=np.intp)
+        self._term_kind = np.zeros(0, dtype=np.uint8)
+        self._term_threshold = np.zeros(0, dtype=np.int64)
+        self._alpha = np.zeros(0, dtype=np.int64)
+        self._beta = np.zeros(0, dtype=np.int64)
+        self._start = np.zeros(0, dtype=np.int64)
+        self._h1 = np.full((0, 0), NEG_INF, dtype=np.int64)
+        self._e1 = np.full((0, 0), NEG_INF, dtype=np.int64)
+        self._f1 = np.full((0, 0), NEG_INF, dtype=np.int64)
+        self._h2 = np.full((0, 0), NEG_INF, dtype=np.int64)
+        self._lo1 = np.zeros(0, dtype=np.int64)
+        self._cnt1 = np.zeros(0, dtype=np.int64)
+        self._lo2 = np.zeros(0, dtype=np.int64)
+        self._cnt2 = np.zeros(0, dtype=np.int64)
 
-    spans = (
-        [(0, max_ad)] if slice_width is None else slice_ranges(max_ad, slice_width)
-    )
-    exhausted = False
-    for slice_lo, slice_hi in spans:
-        if exhausted:
-            break
-        if slice_lo > 0:
-            # Slice boundary: compact terminated and completed tasks out
-            # of the buffers, re-packing survivors into fewer rows and
-            # shrinking the lane axis to the widest surviving band.
-            keep = ~fired[orig] & (num_ad > slice_lo)
-            if not keep.all():
-                live = np.flatnonzero(keep)
-                if live.size == 0:
-                    break
-                orig = orig[live]
-                ref_len = ref_len[live]
-                query_len = query_len[live]
-                diag_lo = diag_lo[live]
-                diag_hi = diag_hi[live]
-                num_ad = num_ad[live]
-                scheme_idx = scheme_idx[live]
-                term_kind = term_kind[live]
-                term_threshold = term_threshold[live]
-                alpha = alpha[live]
-                beta = beta[live]
-                open_cost = open_cost[live]
-                lanes = _lane_bounds(ref_len, query_len, diag_lo, diag_hi)
-                width = int(max(lanes.max(initial=0), 0))
-                ref_buf = ref_buf[live, : max(int(ref_len.max(initial=0)), 1)]
-                query_buf = query_buf[
-                    live, : max(int(query_len.max(initial=0)), 1)
-                ]
-                h1 = h1[live, :width]
-                e1 = e1[live, :width]
-                f1 = f1[live, :width]
-                h2 = h2[live, :width]
-                lo1 = lo1[live]
-                cnt1 = cnt1[live]
-                lo2 = lo2[live]
-                cnt2 = cnt2[live]
-                m = live.size
-                task_idx = np.arange(m)
-                lane = np.arange(width, dtype=np.int64)[None, :]
+        tasks = list(tasks)
+        self._capacity = int(capacity) if capacity is not None else max(len(tasks), 1)
+        if tasks:
+            self.admit(tasks)
+
+    # ------------------------------------------------------------------
+    # InFlightBatch surface
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def live(self) -> int:
+        return self._m
+
+    @property
+    def free(self) -> int:
+        return self._capacity - self._m
+
+    @property
+    def admitted(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def done(self) -> bool:
+        return self._m == 0
+
+    @property
+    def stats(self) -> Tuple[SliceStats, ...]:
+        return tuple(self._stats)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, tasks: Sequence[AlignmentTask]) -> List[int]:
+        """Inject ``tasks`` into free lanes at the current slice boundary.
+
+        Returns their admission indices (the positions their results will
+        occupy in :meth:`drain` / :meth:`take_completed` pairs).  Raises
+        ``ValueError`` when fewer than ``len(tasks)`` lanes are free.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if len(tasks) > self.free:
+            raise ValueError(
+                f"cannot admit {len(tasks)} task(s): only {self.free} of "
+                f"{self._capacity} lanes are free"
+            )
+        batch = pack_tasks(tasks, self._termination)
+        b = batch.size
+
+        # Deduplicate scoring schemes into the stream-wide stack.
+        scheme_idx = np.zeros(b, dtype=np.intp)
+        grew = False
+        for k, task in enumerate(batch.tasks):
+            key = task.scoring
+            index = self._scheme_table.get(key)
+            if index is None:
+                index = len(self._sub_mats)
+                self._scheme_table[key] = index
+                self._sub_mats.append(
+                    task.scoring.substitution_matrix().astype(np.int64)
+                )
+                grew = True
+            scheme_idx[k] = index
+        if grew:
+            self._sub_stack = np.stack(self._sub_mats)
+
+        first = len(self._tasks)
+        indices = list(range(first, first + b))
+        self._tasks.extend(batch.tasks)
+        self._results.extend([None] * b)
+        self._best_score = np.concatenate(
+            [self._best_score, np.full(b, NEG_INF, dtype=np.int64)]
+        )
+        self._best_i = np.concatenate([self._best_i, np.full(b, -1, dtype=np.int64)])
+        self._best_j = np.concatenate([self._best_j, np.full(b, -1, dtype=np.int64)])
+        self._fired = np.concatenate([self._fired, np.zeros(b, dtype=bool)])
+        self._ad_count = np.concatenate([self._ad_count, np.zeros(b, dtype=np.int64)])
+        self._cells_count = np.concatenate(
+            [self._cells_count, np.zeros(b, dtype=np.int64)]
+        )
+        if self._collect_profiles:
+            cols = max(
+                self._maxima_buf.shape[1],
+                int(batch.num_antidiagonals.max(initial=0)),
+            )
+            self._maxima_buf = np.pad(
+                self._maxima_buf,
+                ((0, b), (0, cols - self._maxima_buf.shape[1])),
+            )
+            self._cells_buf = np.pad(
+                self._cells_buf,
+                ((0, b), (0, cols - self._cells_buf.shape[1])),
+            )
+
+        # Merge the live task axis: survivors keep their wavefronts, new
+        # tasks start from the all-NEG_INF zero-lane state of a fresh
+        # sweep (so their arithmetic is identical to one).
+        new_width = max(self._width, batch.max_lanes)
+        ref_cols = max(self._ref_buf.shape[1], batch.ref_buf.shape[1], 1)
+        query_cols = max(self._query_buf.shape[1], batch.query_buf.shape[1], 1)
+
+        def merge_seq(old: np.ndarray, new: np.ndarray, cols: int) -> np.ndarray:
+            out = np.zeros((self._m + b, cols), dtype=np.uint8)
+            out[: self._m, : old.shape[1]] = old
+            out[self._m :, : new.shape[1]] = new
+            return out
+
+        def merge_wave(old: np.ndarray) -> np.ndarray:
+            out = np.full((self._m + b, new_width), NEG_INF, dtype=np.int64)
+            out[: self._m, : old.shape[1]] = old
+            return out
+
+        self._ref_buf = merge_seq(self._ref_buf, batch.ref_buf, ref_cols)
+        self._query_buf = merge_seq(self._query_buf, batch.query_buf, query_cols)
+        self._h1 = merge_wave(self._h1)
+        self._e1 = merge_wave(self._e1)
+        self._f1 = merge_wave(self._f1)
+        self._h2 = merge_wave(self._h2)
+        zeros = np.zeros(b, dtype=np.int64)
+        self._lo1 = np.concatenate([self._lo1, zeros])
+        self._cnt1 = np.concatenate([self._cnt1, zeros])
+        self._lo2 = np.concatenate([self._lo2, zeros])
+        self._cnt2 = np.concatenate([self._cnt2, zeros])
+        self._orig = np.concatenate([self._orig, np.asarray(indices, dtype=np.intp)])
+        self._ref_len = np.concatenate([self._ref_len, batch.ref_len])
+        self._query_len = np.concatenate([self._query_len, batch.query_len])
+        self._diag_lo = np.concatenate([self._diag_lo, batch.diag_lo])
+        self._diag_hi = np.concatenate([self._diag_hi, batch.diag_hi])
+        self._num_ad = np.concatenate([self._num_ad, batch.num_antidiagonals])
+        self._scheme_idx = np.concatenate([self._scheme_idx, scheme_idx])
+        self._term_kind = np.concatenate([self._term_kind, batch.term_kind])
+        self._term_threshold = np.concatenate(
+            [self._term_threshold, batch.term_threshold]
+        )
+        self._alpha = np.concatenate([self._alpha, batch.gap_open])
+        self._beta = np.concatenate([self._beta, batch.gap_extend])
+        self._start = np.concatenate(
+            [self._start, np.full(b, self._g, dtype=np.int64)]
+        )
+        self._m += b
+        self._width = new_width
+        self._since_admit += b
+        return indices
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, n_slices: int = 1) -> List[SliceStats]:
+        """Advance up to ``n_slices`` slices; returns their stats."""
+        if n_slices <= 0:
+            raise ValueError("n_slices must be positive")
+        out: List[SliceStats] = []
+        for _ in range(n_slices):
+            if self._m == 0:
+                break
+            out.append(self._run_slice())
+        return out
+
+    def take_completed(self) -> List[Tuple[int, AlignmentResult]]:
+        """Results retired since the last call, as (index, result) pairs."""
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+    def drain(self) -> List[AlignmentResult]:
+        """Run every admitted task to completion; results in admission order."""
+        while self._m:
+            self._run_slice()
+        self._fresh = []
+        out: List[AlignmentResult] = []
+        for index, result in enumerate(self._results):
+            if result is None:  # pragma: no cover - defensive
+                raise RuntimeError(f"task {index} was never scored")
+            out.append(result)
+        return out
+
+    def profiles(self) -> List[AlignmentProfile]:
+        """Per-task profiles (requires ``collect_profiles=True`` and done)."""
+        if not self._collect_profiles:
+            raise ValueError("stream was opened without collect_profiles=True")
+        if self._m:
+            raise ValueError("profiles() requires a drained stream")
+        out = []
+        for index, task in enumerate(self._tasks):
+            result = self._results[index]
+            assert result is not None
+            processed = int(self._ad_count[index])
+            out.append(
+                AlignmentProfile(
+                    result=result,
+                    antidiag_maxima=self._maxima_buf[index, :processed].copy(),
+                    cells_per_antidiag=self._cells_buf[index, :processed].copy(),
+                    geometry=BandGeometry(
+                        task.ref_len, task.query_len, task.scoring.band_width
+                    ),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_slice(self) -> SliceStats:
+        slice_lo = self._g
+        if self._slice_width is None:
+            slice_hi = int((self._start + self._num_ad).max())
+        else:
+            slice_hi = slice_lo + self._slice_width
+        live_before = self._m
+        admitted = self._since_admit
+        self._since_admit = 0
+
+        # Bind the live state locally (the hot loop rebinds wavefronts).
+        m = self._m
+        orig = self._orig
+        ref_buf = self._ref_buf
+        query_buf = self._query_buf
+        ref_len = self._ref_len
+        query_len = self._query_len
+        diag_lo = self._diag_lo
+        diag_hi = self._diag_hi
+        num_ad = self._num_ad
+        scheme_idx = self._scheme_idx
+        term_kind = self._term_kind
+        term_threshold = self._term_threshold
+        alpha = self._alpha
+        beta = self._beta
+        open_cost = alpha + beta
+        start = self._start
+        fired = self._fired
+        best_score = self._best_score
+        best_i = self._best_i
+        best_j = self._best_j
+        h1, e1, f1 = self._h1, self._e1, self._f1
+        h2 = self._h2
+        lo1, cnt1 = self._lo1, self._cnt1
+        lo2, cnt2 = self._lo2, self._cnt2
+        task_idx = np.arange(m)
+        lane = np.arange(self._width, dtype=np.int64)[None, :]
+        collect = self._collect_profiles
 
         for c in range(slice_lo, slice_hi):
-            active = ~fired[orig] & (c < num_ad)
+            # Per-task local anti-diagonal index: tasks admitted at later
+            # boundaries lag the global counter by their start offset.
+            cv = c - start
+            active = ~fired[orig] & (cv < num_ad)
             if not active.any():
                 # Every live task has fired or completed; no later
                 # anti-diagonal can revive one.
-                exhausted = True
                 break
 
             # In-band row range per task (BandGeometry.row_range, vectorised).
             j_lo = np.maximum.reduce(
                 [
                     np.zeros(m, dtype=np.int64),
-                    c - ref_len + 1,
-                    -((diag_hi - c) // 2),
+                    cv - ref_len + 1,
+                    -((diag_hi - cv) // 2),
                 ]
             )
-            j_hi = np.minimum.reduce(
-                [query_len - 1, np.full(m, c, dtype=np.int64), (c - diag_lo) // 2]
-            )
+            j_hi = np.minimum.reduce([query_len - 1, cv, (cv - diag_lo) // 2])
             count = np.where(active, np.maximum(j_hi - j_lo + 1, 0), 0)
 
             rows = j_lo[:, None] + lane
-            cols = c - rows
+            cols = cv[:, None] - rows
             lane_mask = (lane < count[:, None]) & active[:, None]
 
             # --- vertical (E): (i-1, j) on anti-diagonal c-1, same row.
@@ -469,7 +709,7 @@ def _sweep(
                 np.clip(rows, 0, query_buf.shape[1] - 1),
                 axis=1,
             )
-            match_scores = batch.sub_stack[
+            match_scores = self._sub_stack[
                 scheme_idx[:, None], ref_codes, query_codes
             ]
             diag_val = np.where(diag_h > NEG_INF, diag_h + match_scores, NEG_INF)
@@ -483,15 +723,15 @@ def _sweep(
             k = np.argmax(h_masked, axis=1)
             local_best = h_masked[task_idx, k]
             local_j = rows[task_idx, k]
-            local_i = c - local_j
+            local_i = cv - local_j
 
-            ad_count[orig] += active
-            cells_count[orig] += count
-            if return_profiles:
-                maxima_buf[orig[active], c] = np.where(
+            self._ad_count[orig] += active
+            self._cells_count[orig] += count
+            if collect:
+                self._maxima_buf[orig[active], cv[active]] = np.where(
                     count > 0, local_best, NEG_INF
                 )[active]
-                cells_buf[orig[active], c] = count[active]
+                self._cells_buf[orig[active], cv[active]] = count[active]
 
             # --- termination update (condition checked against the global
             # maximum of *earlier* anti-diagonals, then the local maximum is
@@ -525,34 +765,85 @@ def _sweep(
             lo1 = np.where(count > 0, j_lo, 0)
             cnt1 = count
 
-    score = np.where(best_score > NEG_INF, best_score, 0)
-    results = [
-        AlignmentResult(
-            score=int(score[b]),
-            max_i=int(best_i[b]),
-            max_j=int(best_j[b]),
-            terminated=bool(fired[b]),
-            antidiagonals_processed=int(ad_count[b]),
-            cells_computed=int(cells_count[b]),
+        self._h1, self._e1, self._f1 = h1, e1, f1
+        self._h2 = h2
+        self._lo1, self._cnt1 = lo1, cnt1
+        self._lo2, self._cnt2 = lo2, cnt2
+        self._g = slice_hi
+
+        completed, terminated = self._retire()
+        stat = SliceStats(
+            index=len(self._stats),
+            admitted=admitted,
+            live_before=live_before,
+            completed=completed,
+            terminated=terminated,
+            capacity=self._capacity,
         )
-        for b in range(n)
-    ]
-    if not return_profiles:
-        return results
-    profiles = []
-    for b, (task, result) in enumerate(zip(batch.tasks, results)):
-        processed = int(ad_count[b])
-        profiles.append(
-            AlignmentProfile(
-                result=result,
-                antidiag_maxima=maxima_buf[b, :processed].copy(),
-                cells_per_antidiag=cells_buf[b, :processed].copy(),
-                geometry=BandGeometry(
-                    task.ref_len, task.query_len, task.scoring.band_width
-                ),
+        self._stats.append(stat)
+        return stat
+
+    def _retire(self) -> Tuple[int, int]:
+        """Retire finished live tasks and compact the buffers.
+
+        Identical policy to the old one-shot compaction: a task leaves
+        the buffers once its termination fired or its band is exhausted
+        (``global_step - start >= num_antidiagonals``); survivors are
+        re-packed into fewer rows and the lane axis shrinks to the widest
+        surviving band.
+        """
+        done = self._fired[self._orig] | (self._g - self._start >= self._num_ad)
+        if not done.any():
+            return 0, 0
+        done_idx = self._orig[done]
+        terminated = int(self._fired[done_idx].sum())
+        score = np.where(self._best_score > NEG_INF, self._best_score, 0)
+        for index in done_idx.tolist():
+            result = AlignmentResult(
+                score=int(score[index]),
+                max_i=int(self._best_i[index]),
+                max_j=int(self._best_j[index]),
+                terminated=bool(self._fired[index]),
+                antidiagonals_processed=int(self._ad_count[index]),
+                cells_computed=int(self._cells_count[index]),
             )
+            self._results[index] = result
+            self._fresh.append((index, result))
+
+        live = np.flatnonzero(~done)
+        self._orig = self._orig[live]
+        self._ref_len = self._ref_len[live]
+        self._query_len = self._query_len[live]
+        self._diag_lo = self._diag_lo[live]
+        self._diag_hi = self._diag_hi[live]
+        self._num_ad = self._num_ad[live]
+        self._scheme_idx = self._scheme_idx[live]
+        self._term_kind = self._term_kind[live]
+        self._term_threshold = self._term_threshold[live]
+        self._alpha = self._alpha[live]
+        self._beta = self._beta[live]
+        self._start = self._start[live]
+        lanes = _lane_bounds(
+            self._ref_len, self._query_len, self._diag_lo, self._diag_hi
         )
-    return profiles
+        width = int(max(lanes.max(initial=0), 0))
+        self._ref_buf = self._ref_buf[
+            live, : max(int(self._ref_len.max(initial=0)), 1)
+        ]
+        self._query_buf = self._query_buf[
+            live, : max(int(self._query_len.max(initial=0)), 1)
+        ]
+        self._h1 = self._h1[live, :width]
+        self._e1 = self._e1[live, :width]
+        self._f1 = self._f1[live, :width]
+        self._h2 = self._h2[live, :width]
+        self._lo1 = self._lo1[live]
+        self._cnt1 = self._cnt1[live]
+        self._lo2 = self._lo2[live]
+        self._cnt2 = self._cnt2[live]
+        self._width = width
+        self._m = live.size
+        return int(done_idx.size), terminated
 
 
 @overload
@@ -622,10 +913,14 @@ def batch_align(
     workloads = [t.num_antidiagonals for t in tasks]
     out: List = [None] * len(tasks)
     for bucket in length_bucket_order(workloads, bucket_size):
-        batch = pack_tasks([tasks[i] for i in bucket], termination)
-        swept = _sweep(
-            batch, return_profiles=return_profiles, slice_width=slice_width
+        stream = BatchStream(
+            [tasks[i] for i in bucket],
+            slice_width=slice_width,
+            termination=termination,
+            collect_profiles=return_profiles,
         )
+        results = stream.drain()
+        swept: Sequence = stream.profiles() if return_profiles else results
         for i, item in zip(bucket, swept):
             out[i] = item
     return out

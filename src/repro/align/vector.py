@@ -65,7 +65,7 @@ fallback on every PR.
 from __future__ import annotations
 
 import os
-from typing import List, Literal, Optional, Sequence, Union, overload
+from typing import Dict, List, Literal, Optional, Sequence, Tuple, Union, overload
 
 if os.environ.get("REPRO_NO_VECTOR"):
     raise ImportError(
@@ -88,16 +88,18 @@ from repro.align.batch import (
     _lane_bounds,
     _TERM_XDROP,
     _TERM_ZDROP,
+    _TERMINATION_KINDS,
     pack_tasks,
 )
+from repro.align.streaming import SliceStats
 from repro.align.termination import NEG_INF
 from repro.align.types import AlignmentProfile, AlignmentResult, AlignmentTask
-from repro.core.sliced_diagonal import slice_ranges
 from repro.core.uneven_bucketing import length_bucket_order
 
 __all__ = [
     "DEFAULT_VECTOR_BUCKET_SIZE",
     "PANEL_WIDTH",
+    "VectorStream",
     "vector_align",
 ]
 
@@ -113,25 +115,36 @@ DEFAULT_VECTOR_BUCKET_SIZE: int = 256
 PANEL_WIDTH: int = 32
 
 
-def _safe_int32(batch: TaskBatch, max_ad: int) -> bool:
-    """Whether the whole sweep provably fits ``int32`` arithmetic.
+def _batch_bound(batch: TaskBatch) -> Dict[str, int]:
+    """Components of the worst-case value bound of sweeping ``batch``.
 
     The buffer values live in ``[NEG_INF - (alpha + beta), score_max]``
     where every score is bounded by the band cells times the largest
-    substitution magnitude plus the deepest edge cost.  When that range
-    (with generous margin) fits ``int32``, the 32-bit sweep performs the
-    exact same integer arithmetic as the 64-bit one -- results stay
-    bit-identical -- at half the memory traffic.  Pathological schemes
-    fall back to ``int64``.
+    substitution magnitude plus the deepest edge cost.  When the combined
+    bound (with generous margin) fits ``int32``
+    (:func:`_fits_int32`), the 32-bit sweep performs the exact same
+    integer arithmetic as the 64-bit one -- results stay bit-identical --
+    at half the memory traffic.  Pathological schemes fall back to
+    ``int64``.  A stream keeps the running maximum of each component
+    across admissions: a task admitted mid-sweep can force a *lossless*
+    upcast of the live buffers, but never an exactness-breaking
+    downcast.
     """
-    if batch.size == 0:
-        return True
-    reach = int(max_ad) + 2
+    return {
+        "open": int(batch.gap_open.max(initial=0)),
+        "extend": int(batch.gap_extend.max(initial=0)),
+        "sub": int(np.abs(batch.sub_stack).max(initial=0)),
+        "thr": int(np.abs(batch.term_threshold).max(initial=0)),
+        "reach": int(batch.num_antidiagonals.max(initial=0)) + 2,
+    }
+
+
+def _fits_int32(bound: Dict[str, int]) -> bool:
+    """Whether a sweep with these bound components fits ``int32``."""
     worst = (
-        int(batch.gap_open.max(initial=0))
-        + int(batch.gap_extend.max(initial=0)) * reach
-        + int(np.abs(batch.sub_stack).max(initial=0)) * reach
-        + int(np.abs(batch.term_threshold).max(initial=0))
+        bound["open"]
+        + (bound["extend"] + bound["sub"]) * bound["reach"]
+        + bound["thr"]
     )
     return worst < 2**29
 
@@ -181,17 +194,23 @@ class _Panel:
         scheme_off: Optional[np.ndarray],
         alpha: np.ndarray,
         beta: np.ndarray,
+        start: np.ndarray,
     ) -> None:
         m = ref_len.shape[0]
         span = p_hi - p_lo
         self.lo = p_lo
         # Lower row bound for anti-diagonals p_lo-2 .. p_hi-1 in one shot:
         # the two extra leading rows give the shift deltas of the panel's
-        # first anti-diagonals.  For c < 0 the formula yields garbage, but
-        # those deltas are never *used*: at c = 0 both wavefront buffers
-        # are all-NEG_INF and at c = 1 the two-back buffer still is, so
-        # every shifted view reads NEG_INF whichever view is selected.
-        cs_ext = np.arange(p_lo - 2, p_hi, dtype=np.int64)[:, None]
+        # first anti-diagonals.  Global steps translate to per-task local
+        # anti-diagonal counts through the admission offset ``start`` (all
+        # zeros in a one-shot sweep).  For local counts < 0 the formula
+        # yields garbage, but those deltas are never *used*: at count 0
+        # both wavefront buffers are all-NEG_INF and at count 1 the
+        # two-back buffer still is, so every shifted view reads NEG_INF
+        # whichever view is selected.
+        cs_ext = (
+            np.arange(p_lo - 2, p_hi, dtype=np.int64)[:, None] - start[None, :]
+        )
         jlo_ext = np.maximum(
             np.maximum(cs_ext - ref_len[None, :] + 1, 0),
             -((diag_hi[None, :] - cs_ext) // 2),
@@ -245,16 +264,21 @@ class _Panel:
         # Matrix-edge cells: the top edge (i == 0) sits at lane c - j_lo
         # exactly when the band still reaches row c; the left edge
         # (j == 0) at lane 0 exactly when j_lo == 0.  Both edge H values
-        # on anti-diagonal c cost -(alpha + (c+1)*beta) and both diagonal
-        # predecessors -(alpha + c*beta) (the corner, c == 0, costs 0).
-        # Edges only exist while the band still touches the matrix rim,
-        # so most panels skip the whole block.
+        # on local anti-diagonal c cost -(alpha + (c+1)*beta) and both
+        # diagonal predecessors -(alpha + c*beta), except the corner
+        # (local count 0), whose diagonal predecessor is the origin with
+        # score 0 -- folding that per task into ``diag_cost`` is what
+        # keeps staggered admissions exact.  Edges only exist while the
+        # band still touches the matrix rim, so most panels skip the
+        # whole block.
         has_top = (jhi == cs) & (count > 0)
         has_left = (jlo == 0) & (count > 0)
         if has_top.any() or has_left.any():
             self.top_lane = cs - jlo
             self.edge_cost = -(alpha[None, :] + (cs + 1) * beta[None, :])
-            self.diag_cost = -(alpha[None, :] + cs * beta[None, :])
+            self.diag_cost = np.where(
+                cs == 0, 0, -(alpha[None, :] + cs * beta[None, :])
+            )
             self.top_sel: Optional[List[np.ndarray]] = [
                 np.flatnonzero(has_top[s]) for s in range(span)
             ]
@@ -270,184 +294,424 @@ def _panels(lo: int, hi: int) -> List[tuple[int, int]]:
     return [(p, min(p + PANEL_WIDTH, hi)) for p in range(lo, hi, PANEL_WIDTH)]
 
 
-def _sweep(
-    batch: TaskBatch,
-    *,
-    return_profiles: bool,
-    slice_width: Optional[int] = None,
-) -> Union[List[AlignmentResult], List[AlignmentProfile]]:
-    """Whole-array wavefront sweep over every task of ``batch`` at once.
+class VectorStream:
+    """Resumable whole-array sweep: the ``vector`` engine's in-flight
+    batch (:class:`repro.align.streaming.InFlightBatch`).
 
-    Mirrors :func:`repro.align.batch._sweep` observable for observable;
-    see the module docstring for what is hoisted out of the loop.
+    The streaming twin of :class:`repro.align.batch.BatchStream` --
+    identical contract, identical results -- with the batch engine's
+    per-lane arithmetic replaced by this module's shifted-view panel
+    sweep.  ``vector_align`` is ``VectorStream(bucket).drain()`` per
+    bucket; the serve scheduler instead holds a long-lived stream,
+    interleaving :meth:`step` with :meth:`admit` so new requests occupy
+    the lanes slice-boundary compaction freed.
+
+    Per-task admission offsets (``start``) translate the stream's global
+    step counter into each task's local anti-diagonal count; the panel
+    precompute (:class:`_Panel`) is built on those local counts, so a
+    freshly admitted task's geometry, edge costs and corner handling are
+    exactly those of a fresh sweep, and its wavefront rows start
+    all-``NEG_INF``.  The ``int32`` fast path is decided from a running
+    worst-case bound over every admission (:func:`_batch_bound`): a
+    later admission may upcast the live buffers to ``int64``
+    (value-preserving, hence exact) but never downcasts.
     """
-    n = batch.size
-    if n == 0:
-        return []
-    max_ad = int(batch.num_antidiagonals.max(initial=0))
-    # 32-bit buffers when the value range provably allows it: identical
-    # integer arithmetic, half the memory traffic.
-    dt = np.int32 if _safe_int32(batch, max_ad) else np.int64
-    sub_flat = np.ascontiguousarray(batch.sub_stack.astype(dt, copy=False)).reshape(-1)
-    n_schemes = batch.sub_stack.shape[0]
 
-    # Input-order accumulators, written back from the live arrays at
-    # every compaction boundary and at the end of the sweep.
-    best_score = np.full(n, NEG_INF, dtype=np.int64)
-    best_i = np.full(n, -1, dtype=np.int64)
-    best_j = np.full(n, -1, dtype=np.int64)
-    fired = np.zeros(n, dtype=bool)
-    ad_count = np.zeros(n, dtype=np.int64)
-    cells_count = np.zeros(n, dtype=np.int64)
-    if return_profiles:
-        maxima_buf = np.zeros((n, max_ad), dtype=np.int64)
-        cells_buf = np.zeros((n, max_ad), dtype=np.int64)
+    def __init__(
+        self,
+        tasks: Sequence[AlignmentTask] = (),
+        *,
+        capacity: Optional[int] = None,
+        slice_width: Optional[int] = DEFAULT_SLICE_WIDTH,
+        termination: str = "zdrop",
+        collect_profiles: bool = False,
+    ) -> None:
+        if slice_width is not None and slice_width <= 0:
+            raise ValueError("slice_width must be positive (or None for dense)")
+        if termination not in _TERMINATION_KINDS:
+            raise ValueError(
+                f"unknown termination kind {termination!r}; "
+                f"expected one of {_TERMINATION_KINDS}"
+            )
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._slice_width = slice_width
+        self._termination = termination
+        self._collect_profiles = collect_profiles
+        self._g = 0  # global anti-diagonal step counter
+        self._since_admit = 0
+        self._stats: List[SliceStats] = []
+        self._fresh: List[Tuple[int, AlignmentResult]] = []
 
-    # Live per-task vectors (compacted in lock step with the buffers).
-    orig = np.arange(n)
-    ref_buf = batch.ref_buf
-    query_buf = batch.query_buf
-    ref_len = batch.ref_len
-    query_len = batch.query_len
-    diag_lo = batch.diag_lo
-    diag_hi = batch.diag_hi
-    num_ad = batch.num_antidiagonals
-    scheme_idx = batch.scheme_idx
-    term_threshold = batch.term_threshold
-    z_sel = batch.term_kind == _TERM_ZDROP
-    x_sel = batch.term_kind == _TERM_XDROP
-    alpha = batch.gap_open
-    beta = batch.gap_extend
-    open_col = (alpha + beta)[:, None].astype(dt)
-    beta_col = beta[:, None].astype(dt)
+        # Admission-order records (grow with every admit()).
+        self._tasks: List[AlignmentTask] = []
+        self._results: List[Optional[AlignmentResult]] = []
+        self._best_score = np.full(0, NEG_INF, dtype=np.int64)
+        self._best_i = np.full(0, -1, dtype=np.int64)
+        self._best_j = np.full(0, -1, dtype=np.int64)
+        self._fired = np.zeros(0, dtype=bool)
+        self._ad_count = np.zeros(0, dtype=np.int64)
+        self._cells_count = np.zeros(0, dtype=np.int64)
+        self._maxima_buf = np.zeros((0, 0), dtype=np.int64)
+        self._cells_buf = np.zeros((0, 0), dtype=np.int64)
 
-    # Live accumulators (same values as the input-order ones above, kept
-    # compact so the per-anti-diagonal update never fancy-indexes).
-    l_best = np.full(n, NEG_INF, dtype=np.int64)
-    l_bi = np.full(n, -1, dtype=np.int64)
-    l_bj = np.full(n, -1, dtype=np.int64)
-    l_fired = np.zeros(n, dtype=bool)
-    l_adc = np.zeros(n, dtype=np.int64)
-    l_cells = np.zeros(n, dtype=np.int64)
+        # Stream-wide scheme stack, sweep dtype and its running bound.
+        self._scheme_table: Dict[object, int] = {}
+        self._sub_mats: List[np.ndarray] = []
+        self._sub_stack = np.zeros((1, 5, 5), dtype=np.int64)
+        self._dt: type = np.int64
+        self._bound = {"open": 0, "extend": 0, "sub": 0, "thr": 0, "reach": 0}
 
-    def flush() -> None:
-        best_score[orig] = l_best
-        best_i[orig] = l_bi
-        best_j[orig] = l_bj
-        fired[orig] = l_fired
-        ad_count[orig] = l_adc
-        cells_count[orig] = l_cells
+        # Live task-axis state (compacted at every slice boundary).
+        self._m = 0
+        self._width = 0
+        self._orig = np.zeros(0, dtype=np.intp)
+        self._ref_buf = np.zeros((0, 1), dtype=np.uint8)
+        self._query_buf = np.zeros((0, 1), dtype=np.uint8)
+        self._ref_len = np.zeros(0, dtype=np.int64)
+        self._query_len = np.zeros(0, dtype=np.int64)
+        self._diag_lo = np.zeros(0, dtype=np.int64)
+        self._diag_hi = np.zeros(0, dtype=np.int64)
+        self._num_ad = np.zeros(0, dtype=np.int64)
+        self._scheme_idx = np.zeros(0, dtype=np.intp)
+        self._z_sel = np.zeros(0, dtype=bool)
+        self._x_sel = np.zeros(0, dtype=bool)
+        self._term_threshold = np.zeros(0, dtype=np.int64)
+        self._alpha = np.zeros(0, dtype=np.int64)
+        self._beta = np.zeros(0, dtype=np.int64)
+        self._start = np.zeros(0, dtype=np.int64)
+        # Live accumulators (compact mirrors of the admission-order
+        # records, flushed at retirement, so the per-anti-diagonal
+        # update never fancy-indexes).
+        self._l_best = np.full(0, NEG_INF, dtype=np.int64)
+        self._l_bi = np.full(0, -1, dtype=np.int64)
+        self._l_bj = np.full(0, -1, dtype=np.int64)
+        self._l_fired = np.zeros(0, dtype=bool)
+        self._l_adc = np.zeros(0, dtype=np.int64)
+        self._l_cells = np.zeros(0, dtype=np.int64)
+        # Guard-padded wavefront buffers: lane l of anti-diagonal c-1
+        # (ha) and c-2 (hb) lives in column l+1; columns 0 and width+1
+        # stay NEG_INF so shifted views that step outside the window
+        # read NEG_INF, exactly like the batch engine's bounds-checked
+        # gathers.  E and F are stored pre-combined with their H
+        # alternative -- ``ge = max(H - open, E - extend)`` and ``gf =
+        # max(H - open, F - extend)`` -- so the next anti-diagonal
+        # recovers E/F with one shifted read and one clamp.
+        self._ha = np.full((0, 2), NEG_INF, dtype=np.int64)
+        self._hb = np.full((0, 2), NEG_INF, dtype=np.int64)
+        self._geb = np.full((0, 2), NEG_INF, dtype=np.int64)
+        self._gfb = np.full((0, 2), NEG_INF, dtype=np.int64)
+        self._rebind()
 
-    m = n
-    width = batch.max_lanes
-    task_idx = np.arange(m)
+        tasks = list(tasks)
+        self._capacity = int(capacity) if capacity is not None else max(len(tasks), 1)
+        if tasks:
+            self.admit(tasks)
 
-    # Guard-padded wavefront buffers: lane l of anti-diagonal c-1 (ha) and
-    # c-2 (hb) lives in column l+1; columns 0 and width+1 stay NEG_INF so
-    # shifted views that step outside the window read NEG_INF, exactly
-    # like the batch engine's bounds-checked gathers.  E and F are stored
-    # pre-combined with their H alternative -- ``ge = max(H - open,
-    # E - extend)`` and ``gf = max(H - open, F - extend)`` -- so the next
-    # anti-diagonal recovers E/F with one shifted read and one clamp.
-    ha = np.full((m, width + 2), NEG_INF, dtype=dt)
-    hb = np.full((m, width + 2), NEG_INF, dtype=dt)
-    geb = np.full((m, width + 2), NEG_INF, dtype=dt)
-    gfb = np.full((m, width + 2), NEG_INF, dtype=dt)
+    # ------------------------------------------------------------------
+    # InFlightBatch surface
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
 
-    # Flat sequence views and per-task scheme offsets for the panel's
-    # take-based gathers, plus per-anti-diagonal scratch arrays so the
-    # hot loop allocates nothing (every ufunc writes through ``out=``).
-    def epoch_setup():
-        ref_flat = np.ascontiguousarray(ref_buf).reshape(-1)
-        query_flat = np.ascontiguousarray(query_buf).reshape(-1)
-        scheme_off = (
-            None if n_schemes == 1 else (scheme_idx * 25).astype(np.int32)
+    @property
+    def live(self) -> int:
+        return self._m
+
+    @property
+    def free(self) -> int:
+        return self._capacity - self._m
+
+    @property
+    def admitted(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def done(self) -> bool:
+        return self._m == 0
+
+    @property
+    def stats(self) -> Tuple[SliceStats, ...]:
+        return tuple(self._stats)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, tasks: Sequence[AlignmentTask]) -> List[int]:
+        """Inject ``tasks`` into free lanes at the current slice boundary.
+
+        Returns their admission indices (the positions their results will
+        occupy in :meth:`drain` / :meth:`take_completed` pairs).  Raises
+        ``ValueError`` when fewer than ``len(tasks)`` lanes are free.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if len(tasks) > self.free:
+            raise ValueError(
+                f"cannot admit {len(tasks)} task(s): only {self.free} of "
+                f"{self._capacity} lanes are free"
+            )
+        batch = pack_tasks(tasks, self._termination)
+        b = batch.size
+
+        # Deduplicate scoring schemes into the stream-wide stack.
+        scheme_idx = np.zeros(b, dtype=np.intp)
+        grew = False
+        for k, task in enumerate(batch.tasks):
+            key = task.scoring
+            index = self._scheme_table.get(key)
+            if index is None:
+                index = len(self._sub_mats)
+                self._scheme_table[key] = index
+                self._sub_mats.append(
+                    task.scoring.substitution_matrix().astype(np.int64)
+                )
+                grew = True
+            scheme_idx[k] = index
+        if grew:
+            self._sub_stack = np.stack(self._sub_mats)
+
+        # Sweep dtype: re-decided freely while no values are in flight,
+        # upcast in place (losslessly) when a new admission breaks the
+        # running int32 bound.
+        incoming = _batch_bound(batch)
+        if self._m == 0:
+            self._bound = incoming
+        else:
+            for name, value in incoming.items():
+                self._bound[name] = max(self._bound[name], value)
+        want = np.int32 if _fits_int32(self._bound) else np.int64
+        if self._m == 0:
+            self._dt = want
+        elif want is np.int64 and self._dt is np.int32:
+            self._dt = np.int64
+            self._ha = self._ha.astype(np.int64)
+            self._hb = self._hb.astype(np.int64)
+            self._geb = self._geb.astype(np.int64)
+            self._gfb = self._gfb.astype(np.int64)
+
+        first = len(self._tasks)
+        indices = list(range(first, first + b))
+        self._tasks.extend(batch.tasks)
+        self._results.extend([None] * b)
+        self._best_score = np.concatenate(
+            [self._best_score, np.full(b, NEG_INF, dtype=np.int64)]
         )
-        e_scr = np.empty((m, width), dtype=dt)
-        f_scr = np.empty((m, width), dtype=dt)
-        d_scr = np.empty((m, width), dtype=dt)
-        h_scr = np.empty((m, width), dtype=dt)
-        guard = np.empty((m, width), dtype=bool)
-        return ref_flat, query_flat, scheme_off, e_scr, f_scr, d_scr, h_scr, guard
+        self._best_i = np.concatenate([self._best_i, np.full(b, -1, dtype=np.int64)])
+        self._best_j = np.concatenate([self._best_j, np.full(b, -1, dtype=np.int64)])
+        self._fired = np.concatenate([self._fired, np.zeros(b, dtype=bool)])
+        self._ad_count = np.concatenate([self._ad_count, np.zeros(b, dtype=np.int64)])
+        self._cells_count = np.concatenate(
+            [self._cells_count, np.zeros(b, dtype=np.int64)]
+        )
+        if self._collect_profiles:
+            cols = max(
+                self._maxima_buf.shape[1],
+                int(batch.num_antidiagonals.max(initial=0)),
+            )
+            self._maxima_buf = np.pad(
+                self._maxima_buf,
+                ((0, b), (0, cols - self._maxima_buf.shape[1])),
+            )
+            self._cells_buf = np.pad(
+                self._cells_buf,
+                ((0, b), (0, cols - self._cells_buf.shape[1])),
+            )
 
-    (
-        ref_flat,
-        query_flat,
-        scheme_off,
-        e_scr,
-        f_scr,
-        d_scr,
-        h_scr,
-        guard,
-    ) = epoch_setup()
+        self._l_best = np.concatenate(
+            [self._l_best, np.full(b, NEG_INF, dtype=np.int64)]
+        )
+        self._l_bi = np.concatenate([self._l_bi, np.full(b, -1, dtype=np.int64)])
+        self._l_bj = np.concatenate([self._l_bj, np.full(b, -1, dtype=np.int64)])
+        self._l_fired = np.concatenate([self._l_fired, np.zeros(b, dtype=bool)])
+        self._l_adc = np.concatenate([self._l_adc, np.zeros(b, dtype=np.int64)])
+        self._l_cells = np.concatenate([self._l_cells, np.zeros(b, dtype=np.int64)])
 
-    spans = (
-        [(0, max_ad)] if slice_width is None else slice_ranges(max_ad, slice_width)
-    )
-    min_ad = int(num_ad.min())
-    any_fired = False
-    exhausted = False
-    for slice_lo, slice_hi in spans:
-        if exhausted:
-            break
-        if slice_lo > 0:
-            # Slice boundary: compact terminated and completed tasks out
-            # of the buffers (identical policy to the batch engine).
-            keep = ~l_fired & (num_ad > slice_lo)
-            if not keep.all():
-                flush()
-                live = np.flatnonzero(keep)
-                if live.size == 0:
-                    break
-                orig = orig[live]
-                ref_len = ref_len[live]
-                query_len = query_len[live]
-                diag_lo = diag_lo[live]
-                diag_hi = diag_hi[live]
-                num_ad = num_ad[live]
-                scheme_idx = scheme_idx[live]
-                term_threshold = term_threshold[live]
-                z_sel = z_sel[live]
-                x_sel = x_sel[live]
-                alpha = alpha[live]
-                beta = beta[live]
-                open_col = (alpha + beta)[:, None].astype(dt)
-                beta_col = beta[:, None].astype(dt)
-                l_best = l_best[live]
-                l_bi = l_bi[live]
-                l_bj = l_bj[live]
-                l_fired = l_fired[live]
-                l_adc = l_adc[live]
-                l_cells = l_cells[live]
-                lanes = _lane_bounds(ref_len, query_len, diag_lo, diag_hi)
-                new_width = int(max(lanes.max(initial=0), 0))
-                ref_buf = ref_buf[live, : max(int(ref_len.max(initial=0)), 1)]
-                query_buf = query_buf[
-                    live, : max(int(query_len.max(initial=0)), 1)
-                ]
-                ha = ha[live, : new_width + 2].copy()
-                hb = hb[live, : new_width + 2].copy()
-                geb = geb[live, : new_width + 2].copy()
-                gfb = gfb[live, : new_width + 2].copy()
-                ha[:, -1] = NEG_INF
-                hb[:, -1] = NEG_INF
-                geb[:, -1] = NEG_INF
-                gfb[:, -1] = NEG_INF
-                width = new_width
-                m = live.size
-                task_idx = np.arange(m)
-                min_ad = int(num_ad.min())
-                any_fired = bool(l_fired.any())
-                (
-                    ref_flat,
-                    query_flat,
-                    scheme_off,
-                    e_scr,
-                    f_scr,
-                    d_scr,
-                    h_scr,
-                    guard,
-                ) = epoch_setup()
+        # Merge the live task axis: survivors keep their wavefronts, new
+        # tasks start from the all-NEG_INF state of a fresh sweep (so
+        # their arithmetic is identical to one).
+        new_width = max(self._width, batch.max_lanes)
+        ref_cols = max(self._ref_buf.shape[1], batch.ref_buf.shape[1], 1)
+        query_cols = max(self._query_buf.shape[1], batch.query_buf.shape[1], 1)
+
+        def merge_seq(old: np.ndarray, new: np.ndarray, cols: int) -> np.ndarray:
+            out = np.zeros((self._m + b, cols), dtype=np.uint8)
+            out[: self._m, : old.shape[1]] = old
+            out[self._m :, : new.shape[1]] = new
+            return out
+
+        def merge_wave(old: np.ndarray) -> np.ndarray:
+            out = np.full((self._m + b, new_width + 2), NEG_INF, dtype=self._dt)
+            out[: self._m, : old.shape[1]] = old
+            return out
+
+        self._ref_buf = merge_seq(self._ref_buf, batch.ref_buf, ref_cols)
+        self._query_buf = merge_seq(self._query_buf, batch.query_buf, query_cols)
+        self._ha = merge_wave(self._ha)
+        self._hb = merge_wave(self._hb)
+        self._geb = merge_wave(self._geb)
+        self._gfb = merge_wave(self._gfb)
+        self._orig = np.concatenate([self._orig, np.asarray(indices, dtype=np.intp)])
+        self._ref_len = np.concatenate([self._ref_len, batch.ref_len])
+        self._query_len = np.concatenate([self._query_len, batch.query_len])
+        self._diag_lo = np.concatenate([self._diag_lo, batch.diag_lo])
+        self._diag_hi = np.concatenate([self._diag_hi, batch.diag_hi])
+        self._num_ad = np.concatenate([self._num_ad, batch.num_antidiagonals])
+        self._scheme_idx = np.concatenate([self._scheme_idx, scheme_idx])
+        self._z_sel = np.concatenate([self._z_sel, batch.term_kind == _TERM_ZDROP])
+        self._x_sel = np.concatenate([self._x_sel, batch.term_kind == _TERM_XDROP])
+        self._term_threshold = np.concatenate(
+            [self._term_threshold, batch.term_threshold]
+        )
+        self._alpha = np.concatenate([self._alpha, batch.gap_open])
+        self._beta = np.concatenate([self._beta, batch.gap_extend])
+        self._start = np.concatenate(
+            [self._start, np.full(b, self._g, dtype=np.int64)]
+        )
+        self._m += b
+        self._width = new_width
+        self._since_admit += b
+        self._rebind()
+        return indices
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, n_slices: int = 1) -> List[SliceStats]:
+        """Advance up to ``n_slices`` slices; returns their stats."""
+        if n_slices <= 0:
+            raise ValueError("n_slices must be positive")
+        out: List[SliceStats] = []
+        for _ in range(n_slices):
+            if self._m == 0:
+                break
+            out.append(self._run_slice())
+        return out
+
+    def take_completed(self) -> List[Tuple[int, AlignmentResult]]:
+        """Results retired since the last call, as (index, result) pairs."""
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+    def drain(self) -> List[AlignmentResult]:
+        """Run every admitted task to completion; results in admission order."""
+        while self._m:
+            self._run_slice()
+        self._fresh = []
+        out: List[AlignmentResult] = []
+        for index, result in enumerate(self._results):
+            if result is None:  # pragma: no cover - defensive
+                raise RuntimeError(f"task {index} was never scored")
+            out.append(result)
+        return out
+
+    def profiles(self) -> List[AlignmentProfile]:
+        """Per-task profiles (requires ``collect_profiles=True`` and done)."""
+        if not self._collect_profiles:
+            raise ValueError("stream was opened without collect_profiles=True")
+        if self._m:
+            raise ValueError("profiles() requires a drained stream")
+        out = []
+        for index, task in enumerate(self._tasks):
+            result = self._results[index]
+            assert result is not None
+            processed = int(self._ad_count[index])
+            out.append(
+                AlignmentProfile(
+                    result=result,
+                    antidiag_maxima=self._maxima_buf[index, :processed].copy(),
+                    cells_per_antidiag=self._cells_buf[index, :processed].copy(),
+                    geometry=BandGeometry(
+                        task.ref_len, task.query_len, task.scoring.band_width
+                    ),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _rebind(self) -> None:
+        """Recompute the derived sweep state after a shape/dtype change:
+        flat sequence views and per-task scheme offsets for the panel's
+        take-based gathers, plus per-anti-diagonal scratch arrays so the
+        hot loop allocates nothing (every ufunc writes through ``out=``).
+        """
+        dt = self._dt
+        self._open_col = (self._alpha + self._beta)[:, None].astype(dt)
+        self._beta_col = self._beta[:, None].astype(dt)
+        self._sub_flat = np.ascontiguousarray(
+            self._sub_stack.astype(dt, copy=False)
+        ).reshape(-1)
+        self._scheme_off = (
+            None
+            if self._sub_stack.shape[0] == 1
+            else (self._scheme_idx * 25).astype(np.int32)
+        )
+        self._ref_flat = np.ascontiguousarray(self._ref_buf).reshape(-1)
+        self._query_flat = np.ascontiguousarray(self._query_buf).reshape(-1)
+        m, width = self._m, self._width
+        self._e_scr = np.empty((m, width), dtype=dt)
+        self._f_scr = np.empty((m, width), dtype=dt)
+        self._d_scr = np.empty((m, width), dtype=dt)
+        self._h_scr = np.empty((m, width), dtype=dt)
+        self._guard = np.empty((m, width), dtype=bool)
+        self._task_idx = np.arange(m)
+        self._any_fired = bool(self._l_fired.any())
+        self._min_end = int((self._start + self._num_ad).min()) if m else 0
+
+    def _flush(self) -> None:
+        orig = self._orig
+        self._best_score[orig] = self._l_best
+        self._best_i[orig] = self._l_bi
+        self._best_j[orig] = self._l_bj
+        self._fired[orig] = self._l_fired
+        self._ad_count[orig] = self._l_adc
+        self._cells_count[orig] = self._l_cells
+
+    def _run_slice(self) -> SliceStats:
+        slice_lo = self._g
+        if self._slice_width is None:
+            slice_hi = int((self._start + self._num_ad).max())
+        else:
+            slice_hi = slice_lo + self._slice_width
+        live_before = self._m
+        admitted = self._since_admit
+        self._since_admit = 0
+
+        # Bind the live state locally for the hot loop.
+        ref_buf = self._ref_buf
+        query_buf = self._query_buf
+        ref_len = self._ref_len
+        query_len = self._query_len
+        diag_lo = self._diag_lo
+        diag_hi = self._diag_hi
+        num_ad = self._num_ad
+        term_threshold = self._term_threshold
+        z_sel, x_sel = self._z_sel, self._x_sel
+        alpha, beta = self._alpha, self._beta
+        open_col, beta_col = self._open_col, self._beta_col
+        start = self._start
+        orig = self._orig
+        width = self._width
+        ha, hb = self._ha, self._hb
+        geb, gfb = self._geb, self._gfb
+        e_scr, f_scr = self._e_scr, self._f_scr
+        d_scr, h_scr = self._d_scr, self._h_scr
+        guard = self._guard
+        task_idx = self._task_idx
+        ref_flat, query_flat = self._ref_flat, self._query_flat
+        sub_flat, scheme_off = self._sub_flat, self._scheme_off
+        l_best, l_bi, l_bj = self._l_best, self._l_bi, self._l_bj
+        l_fired = self._l_fired
+        l_adc, l_cells = self._l_adc, self._l_cells
+        maxima_buf, cells_buf = self._maxima_buf, self._cells_buf
+        collect = self._collect_profiles
+        any_fired = self._any_fired
+        min_end = self._min_end
+        exhausted = False
 
         for p_lo, p_hi in _panels(slice_lo, slice_hi):
             if exhausted:
@@ -468,17 +732,21 @@ def _sweep(
                 scheme_off=scheme_off,
                 alpha=alpha,
                 beta=beta,
+                start=start,
             )
             for s in range(p_hi - p_lo):
                 c = p_lo + s
+                # Per-task local anti-diagonal count: tasks admitted at
+                # later boundaries lag the global counter by ``start``.
+                cv = c - start
                 # Fast path: while nothing has fired and every live task
                 # still has anti-diagonals left, the active mask is all
                 # ones and never needs materialising.
-                all_active = not any_fired and c < min_ad
+                all_active = not any_fired and c < min_end
                 if all_active:
                     active = None
                 else:
-                    active = ~l_fired & (c < num_ad)
+                    active = ~l_fired & (cv < num_ad)
                     if not active.any():
                         exhausted = True
                         break
@@ -548,18 +816,16 @@ def _sweep(
                             e_scr[tsel, tl] = np.maximum(
                                 ecost[tsel] - oc_edge[tsel], NEG_INF
                             )
-                            # c == 0 is the corner: the diagonal
-                            # predecessor is the origin with score 0,
-                            # not an edge cost.
-                            d_scr[tsel, tl] = (
-                                dcost[tsel] if c > 0 else 0
-                            ) + match_s[tsel, tl]
+                            # The corner (local count 0) is already
+                            # folded into diag_cost per task: its
+                            # diagonal predecessor is the origin with
+                            # score 0, not an edge cost.
+                            d_scr[tsel, tl] = dcost[tsel] + match_s[tsel, tl]
                         if lsel.size:
                             f_scr[lsel, 0] = np.maximum(
                                 ecost[lsel] - oc_edge[lsel], NEG_INF
                             )
-                            if c > 0:
-                                d_scr[lsel, 0] = dcost[lsel] + match_s[lsel, 0]
+                            d_scr[lsel, 0] = dcost[lsel] + match_s[lsel, 0]
 
                 # E and F are already clamped at NEG_INF, so the H
                 # maximum needs no extra clamp.
@@ -571,24 +837,24 @@ def _sweep(
                 k = np.argmax(h_m, axis=1)
                 local_best = h_m[task_idx, k]
                 local_j = panel.jlo[s] + k
-                local_i = c - local_j
+                local_i = cv - local_j
 
                 if active is None:
                     l_adc += 1
                 else:
                     l_adc += active
                 l_cells += cnt
-                if return_profiles:
+                if collect:
                     if active is None:
-                        maxima_buf[orig, c] = np.where(
+                        maxima_buf[orig, cv] = np.where(
                             cnt > 0, local_best, NEG_INF
                         )
-                        cells_buf[orig, c] = cnt
+                        cells_buf[orig, cv] = cnt
                     else:
-                        maxima_buf[orig[active], c] = np.where(
+                        maxima_buf[orig[active], cv[active]] = np.where(
                             cnt > 0, local_best, NEG_INF
                         )[active]
-                        cells_buf[orig[active], c] = cnt[active]
+                        cells_buf[orig[active], cv[active]] = cnt[active]
 
                 # Termination: check against the pre-update global
                 # maximum, then fold the local maximum in (the exact
@@ -629,35 +895,93 @@ def _sweep(
                 np.maximum(d_scr, f_scr, out=gfb[:, 1:-1])
                 ha, hb = hb, ha
 
-    flush()
-    score = np.where(best_score > NEG_INF, best_score, 0)
-    results = [
-        AlignmentResult(
-            score=int(score[b]),
-            max_i=int(best_i[b]),
-            max_j=int(best_j[b]),
-            terminated=bool(fired[b]),
-            antidiagonals_processed=int(ad_count[b]),
-            cells_computed=int(cells_count[b]),
+        self._ha, self._hb = ha, hb
+        self._l_best, self._l_bi, self._l_bj = l_best, l_bi, l_bj
+        self._any_fired = any_fired
+        self._g = slice_hi
+
+        completed, terminated = self._retire()
+        stat = SliceStats(
+            index=len(self._stats),
+            admitted=admitted,
+            live_before=live_before,
+            completed=completed,
+            terminated=terminated,
+            capacity=self._capacity,
         )
-        for b in range(n)
-    ]
-    if not return_profiles:
-        return results
-    profiles = []
-    for b, (task, result) in enumerate(zip(batch.tasks, results)):
-        processed = int(ad_count[b])
-        profiles.append(
-            AlignmentProfile(
-                result=result,
-                antidiag_maxima=maxima_buf[b, :processed].copy(),
-                cells_per_antidiag=cells_buf[b, :processed].copy(),
-                geometry=BandGeometry(
-                    task.ref_len, task.query_len, task.scoring.band_width
-                ),
+        self._stats.append(stat)
+        return stat
+
+    def _retire(self) -> Tuple[int, int]:
+        """Retire finished live tasks and compact the buffers.
+
+        Identical policy to the one-shot compaction this replaced: a task
+        leaves the buffers once its termination fired or its band is
+        exhausted (``global_step - start >= num_antidiagonals``);
+        survivors are re-packed into fewer rows and the lane axis shrinks
+        to the widest surviving band.
+        """
+        done = self._l_fired | (self._g - self._start >= self._num_ad)
+        if not done.any():
+            return 0, 0
+        self._flush()
+        done_idx = self._orig[done]
+        terminated = int(self._l_fired[done].sum())
+        for index in done_idx.tolist():
+            score = self._best_score[index]
+            result = AlignmentResult(
+                score=int(score) if score > NEG_INF else 0,
+                max_i=int(self._best_i[index]),
+                max_j=int(self._best_j[index]),
+                terminated=bool(self._fired[index]),
+                antidiagonals_processed=int(self._ad_count[index]),
+                cells_computed=int(self._cells_count[index]),
             )
+            self._results[index] = result
+            self._fresh.append((index, result))
+
+        live = np.flatnonzero(~done)
+        self._orig = self._orig[live]
+        self._ref_len = self._ref_len[live]
+        self._query_len = self._query_len[live]
+        self._diag_lo = self._diag_lo[live]
+        self._diag_hi = self._diag_hi[live]
+        self._num_ad = self._num_ad[live]
+        self._scheme_idx = self._scheme_idx[live]
+        self._z_sel = self._z_sel[live]
+        self._x_sel = self._x_sel[live]
+        self._term_threshold = self._term_threshold[live]
+        self._alpha = self._alpha[live]
+        self._beta = self._beta[live]
+        self._start = self._start[live]
+        self._l_best = self._l_best[live]
+        self._l_bi = self._l_bi[live]
+        self._l_bj = self._l_bj[live]
+        self._l_fired = self._l_fired[live]
+        self._l_adc = self._l_adc[live]
+        self._l_cells = self._l_cells[live]
+        lanes = _lane_bounds(
+            self._ref_len, self._query_len, self._diag_lo, self._diag_hi
         )
-    return profiles
+        new_width = int(max(lanes.max(initial=0), 0))
+        self._ref_buf = self._ref_buf[
+            live, : max(int(self._ref_len.max(initial=0)), 1)
+        ]
+        self._query_buf = self._query_buf[
+            live, : max(int(self._query_len.max(initial=0)), 1)
+        ]
+        self._ha = self._ha[live, : new_width + 2].copy()
+        self._hb = self._hb[live, : new_width + 2].copy()
+        self._geb = self._geb[live, : new_width + 2].copy()
+        self._gfb = self._gfb[live, : new_width + 2].copy()
+        self._ha[:, -1] = NEG_INF
+        self._hb[:, -1] = NEG_INF
+        self._geb[:, -1] = NEG_INF
+        self._gfb[:, -1] = NEG_INF
+        self._width = new_width
+        self._m = live.size
+        self._rebind()
+        return int(done_idx.size), terminated
 
 
 @overload
@@ -707,10 +1031,14 @@ def vector_align(
     workloads = [t.num_antidiagonals for t in tasks]
     out: List = [None] * len(tasks)
     for bucket in length_bucket_order(workloads, bucket_size):
-        batch = pack_tasks([tasks[i] for i in bucket], termination)
-        swept = _sweep(
-            batch, return_profiles=return_profiles, slice_width=slice_width
+        stream = VectorStream(
+            [tasks[i] for i in bucket],
+            slice_width=slice_width,
+            termination=termination,
+            collect_profiles=return_profiles,
         )
+        results = stream.drain()
+        swept: Sequence = stream.profiles() if return_profiles else results
         for i, item in zip(bucket, swept):
             out[i] = item
     return out

@@ -18,6 +18,14 @@ Extension points (see DESIGN.md, "The public API layer"):
 * :func:`register_suite` -- new kernel line-ups, which automatically
   appear in ``python -m repro.bench --suites`` and in figure records.
 
+Engine calls take their tuning as a typed :class:`EngineOptions`, and
+every engine can be driven through a streaming handle:
+:func:`open_batch` returns an :class:`InFlightBatch` that steps slice by
+slice and admits new tasks into lanes freed by compaction
+(:func:`supports_streaming` reports which engines stream natively; the
+rest are adapted through :class:`OneShotBatch`).  docs/ENGINES.md
+documents the contract.
+
 The online serving layer (:mod:`repro.serve`) is re-exported here too:
 :class:`ServeConfig` and :class:`AlignmentService` (reachable through
 :meth:`Session.serve`), the :class:`LoadGenerator`/:class:`RequestTrace`
@@ -34,10 +42,16 @@ from repro.api.registry import Registry, RegistryError
 from repro.api.engines import (
     ENGINES,
     AlignmentEngine,
+    EngineOptions,
+    InFlightBatch,
+    OneShotBatch,
+    SliceStats,
     align_tasks,
     engine_names,
     get_engine,
+    open_batch,
     register_engine,
+    supports_streaming,
     unavailable_engines,
 )
 from repro.api.suites import (
@@ -88,6 +102,10 @@ __all__ = [
     "KERNELS",
     "SUITES",
     "AlignmentEngine",
+    "EngineOptions",
+    "InFlightBatch",
+    "OneShotBatch",
+    "SliceStats",
     "KernelFactory",
     "SuiteEntry",
     "SuiteSpec",
@@ -96,6 +114,8 @@ __all__ = [
     "get_engine",
     "engine_names",
     "unavailable_engines",
+    "supports_streaming",
+    "open_batch",
     "register_kernel",
     "get_kernel",
     "kernel_names",

@@ -39,6 +39,22 @@ This replaces the old boolean plumbing (``align_workload(batched=...)``,
 ``LongReadMapper(batched=...)``) that could only ever express two
 backends.
 
+Two orthogonal extensions sit on top of the name-keyed callable:
+
+* **Typed options.**  :class:`EngineOptions` bundles the per-engine
+  tuning knobs (``batch_size``, ``slice_width``) that used to travel as
+  scattered keyword arguments; unset fields defer to each engine's own
+  defaults, and :func:`align_tasks`/:class:`repro.api.Session` accept
+  ``options=`` everywhere they used to take ``batch_size=`` (the old
+  keyword still works behind a single :class:`DeprecationWarning`).
+* **Streaming.**  Engines whose sweep can pause at slice boundaries
+  register an ``open_batch`` factory; :func:`open_batch` returns their
+  :class:`~repro.align.streaming.InFlightBatch` handle, and
+  :func:`supports_streaming` reports the capability.  Engines without
+  the factory (``scalar``, ``batch``, third-party backends) are served
+  through the :class:`~repro.align.streaming.OneShotBatch` adapter, so
+  every registered name can sit behind the same handle type.
+
 One deliberate exception: kernel profile priming
 (``KernelConfig.scoring_engine``) does not resolve through this
 registry.  Profiles require the batch machinery's ``return_profiles``
@@ -51,20 +67,35 @@ never what primes kernel profiles (docs/ENGINES.md).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.align.antidiagonal import antidiagonal_align
-from repro.align.batch import DEFAULT_BUCKET_SIZE, DEFAULT_SLICE_WIDTH, batch_align
+from repro.align.batch import (
+    DEFAULT_BUCKET_SIZE,
+    DEFAULT_SLICE_WIDTH,
+    BatchStream,
+    batch_align,
+)
+from repro.align.streaming import InFlightBatch, OneShotBatch, SliceStats
 from repro.align.types import AlignmentResult, AlignmentTask
 from repro.api.registry import Registry
 
 __all__ = [
     "AlignmentEngine",
+    "EngineOptions",
     "ENGINES",
+    "InFlightBatch",
+    "OneShotBatch",
+    "SliceStats",
     "register_engine",
     "get_engine",
     "engine_names",
     "unavailable_engines",
+    "supports_streaming",
+    "open_batch",
     "align_tasks",
 ]
 
@@ -74,15 +105,79 @@ AlignmentEngine = Callable[..., List[AlignmentResult]]
 #: The engine registry.  ``"scalar"`` and ``"batch"`` are built in.
 ENGINES: Registry[AlignmentEngine] = Registry("engine")
 
+#: Option fields an engine accepts when its registration declares none.
+_DEFAULT_OPTION_PARAMS: Tuple[str, ...] = ("batch_size",)
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Typed per-engine tuning options (the former keyword sprawl).
+
+    One frozen bundle replaces the ``batch_size=`` / ``slice_width=``
+    keywords that Session, ServeConfig and the bench/serve CLIs each
+    defaulted separately.  Every field is optional: ``None`` means "the
+    engine's own default", so an empty ``EngineOptions()`` reproduces
+    exactly what calling the engine with no keywords would do, and
+    options written for one engine work on another that understands
+    fewer knobs (unknown fields are simply not forwarded -- each
+    engine's registration declares which fields it accepts).
+
+    >>> EngineOptions(batch_size=32).engine_kwargs(("batch_size", "slice_width"))
+    {'batch_size': 32}
+    >>> EngineOptions(batch_size=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: batch_size must be positive (got 0)
+    """
+
+    batch_size: Optional[int] = None
+    slice_width: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for field in ("batch_size", "slice_width"):
+            value = getattr(self, field)
+            if value is not None and (not isinstance(value, int) or value <= 0):
+                raise ValueError(f"{field} must be positive (got {value!r})")
+
+    def replace(self, **changes: Any) -> "EngineOptions":
+        """A copy with ``changes`` applied (like :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+    def engine_kwargs(self, params: Sequence[str]) -> Dict[str, int]:
+        """The keyword arguments to pass an engine accepting ``params``.
+
+        Only explicitly-set fields are forwarded; everything else is the
+        engine's own business.
+        """
+        out: Dict[str, int] = {}
+        for param in params:
+            value = getattr(self, param, None)
+            if value is not None:
+                out[param] = value
+        return out
+
 
 def register_engine(
     name: str,
     engine: Optional[AlignmentEngine] = None,
     *,
     replace: bool = False,
+    option_params: Sequence[str] = _DEFAULT_OPTION_PARAMS,
+    open_batch: Optional[Callable[..., InFlightBatch]] = None,
 ) -> Callable[[AlignmentEngine], AlignmentEngine] | AlignmentEngine:
-    """Register an alignment engine (decorator or direct form)."""
-    return ENGINES.register(name, engine, replace=replace)
+    """Register an alignment engine (decorator or direct form).
+
+    ``option_params`` names the :class:`EngineOptions` fields the engine
+    accepts as keywords (``("batch_size",)`` unless it also understands
+    ``slice_width``).  ``open_batch`` declares streaming support: a
+    factory ``(tasks, *, capacity=None, options) -> InFlightBatch``
+    returning a resumable handle; engines without one are adapted
+    through :class:`~repro.align.streaming.OneShotBatch`.
+    """
+    meta: Dict[str, object] = {"option_params": tuple(option_params)}
+    if open_batch is not None:
+        meta["open_batch"] = open_batch
+    return ENGINES.register(name, engine, replace=replace, meta=meta)
 
 
 def get_engine(name: str) -> AlignmentEngine:
@@ -140,7 +235,29 @@ def batch_engine(
     return batch_align(tasks, bucket_size=batch_size)
 
 
-@register_engine("batch-sliced")
+def _open_sliced_batch(
+    tasks: Sequence[AlignmentTask],
+    *,
+    capacity: Optional[int] = None,
+    options: EngineOptions,
+) -> BatchStream:
+    """Streaming factory for ``"batch-sliced"``: a refillable BatchStream."""
+    return BatchStream(
+        tasks,
+        capacity=capacity,
+        slice_width=(
+            options.slice_width
+            if options.slice_width is not None
+            else DEFAULT_SLICE_WIDTH
+        ),
+    )
+
+
+@register_engine(
+    "batch-sliced",
+    option_params=("batch_size", "slice_width"),
+    open_batch=_open_sliced_batch,
+)
 def sliced_batch_engine(
     tasks: Sequence[AlignmentTask],
     *,
@@ -163,6 +280,7 @@ _UNAVAILABLE: dict[str, str] = {}
 try:
     from repro.align.vector import (
         DEFAULT_VECTOR_BUCKET_SIZE,
+        VectorStream,
         vector_align,
     )
 except ImportError as _vector_exc:
@@ -171,7 +289,28 @@ except ImportError as _vector_exc:
     _UNAVAILABLE["vector"] = str(_vector_exc)
 else:
 
-    @register_engine("vector")
+    def _open_vector_batch(
+        tasks: Sequence[AlignmentTask],
+        *,
+        capacity: Optional[int] = None,
+        options: EngineOptions,
+    ) -> "VectorStream":
+        """Streaming factory for ``"vector"``: a refillable VectorStream."""
+        return VectorStream(
+            tasks,
+            capacity=capacity,
+            slice_width=(
+                options.slice_width
+                if options.slice_width is not None
+                else DEFAULT_SLICE_WIDTH
+            ),
+        )
+
+    @register_engine(
+        "vector",
+        option_params=("batch_size", "slice_width"),
+        open_batch=_open_vector_batch,
+    )
     def vector_engine(
         tasks: Sequence[AlignmentTask],
         *,
@@ -190,16 +329,82 @@ else:
 
 
 # ----------------------------------------------------------------------
+def supports_streaming(name: str) -> bool:
+    """Whether ``open_batch(engine=name)`` returns a real streaming sweep.
+
+    ``True`` for engines registered with an ``open_batch`` factory
+    (built-ins: ``"batch-sliced"`` and ``"vector"``); ``False`` for
+    engines served through the one-shot adapter.  Unknown names raise
+    the same KeyError as :func:`get_engine`.
+    """
+    get_engine(name)  # the name-listing / missing-extra error
+    return "open_batch" in ENGINES.meta(name)
+
+
+def open_batch(
+    tasks: Sequence[AlignmentTask] = (),
+    *,
+    engine: str = "batch",
+    options: Optional[EngineOptions] = None,
+    capacity: Optional[int] = None,
+) -> InFlightBatch:
+    """Open a resumable in-flight batch on a named engine.
+
+    The streaming counterpart of :func:`align_tasks`: the returned
+    :class:`~repro.align.streaming.InFlightBatch` can be advanced slice
+    by slice (``step()``), refilled with new tasks in lanes freed by
+    compaction (``admit()``), or simply drained.  ``capacity`` bounds
+    how many tasks may be in flight at once (default: the size of the
+    initial ``tasks``, minimum one lane).
+
+    Engines registered without a streaming factory come back wrapped in
+    the :class:`~repro.align.streaming.OneShotBatch` adapter -- same
+    interface, drain-then-form semantics -- so callers never branch on
+    :func:`supports_streaming` just to hold a handle.
+
+    Whatever the admission order, ``drain()`` is bit-identical to
+    ``align_tasks(...)`` on the same tasks:
+
+    >>> from repro.align.scoring import preset
+    >>> from repro.align.sequence import encode
+    >>> from repro.align.types import AlignmentTask
+    >>> task = AlignmentTask(
+    ...     ref=encode("ACGTACGT"), query=encode("ACGTACGT"),
+    ...     scoring=preset("figure1"),
+    ... )
+    >>> handle = open_batch([task], engine="batch-sliced")
+    >>> [r.score for r in handle.drain()]
+    [16]
+    """
+    fn = get_engine(engine)
+    opts = options if options is not None else EngineOptions()
+    meta = ENGINES.meta(engine)
+    factory = meta.get("open_batch")
+    if factory is not None:
+        return factory(tasks, capacity=capacity, options=opts)
+    params = meta.get("option_params", _DEFAULT_OPTION_PARAMS)
+    return OneShotBatch(
+        fn,
+        tasks,
+        capacity=capacity if capacity is not None else 0,
+        engine_kwargs=opts.engine_kwargs(params),
+    )
+
+
 def align_tasks(
     tasks: Sequence[AlignmentTask],
     *,
     engine: str = "batch",
-    batch_size: int = DEFAULT_BUCKET_SIZE,
+    options: Optional[EngineOptions] = None,
+    batch_size: Optional[int] = None,
 ) -> List[AlignmentResult]:
     """Score a workload with a named engine.
 
     The core implementation behind :meth:`repro.api.Session.align` and
     the deprecated ``repro.pipeline.experiment.align_workload``.
+    Tuning knobs travel as a typed :class:`EngineOptions`; the legacy
+    ``batch_size=`` keyword still works but emits one
+    ``DeprecationWarning`` per call (bit-identical behaviour).
 
     The built-in engines agree bit for bit, so swapping names never
     changes a score:
@@ -216,4 +421,21 @@ def align_tasks(
     >>> [r.score for r in align_tasks([task], engine="batch-sliced")]
     [16]
     """
-    return get_engine(engine)(tasks, batch_size=batch_size)
+    if batch_size is not None:
+        warnings.warn(
+            "align_tasks(batch_size=...) is deprecated; pass "
+            "options=EngineOptions(batch_size=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        base = options if options is not None else EngineOptions()
+        if base.batch_size is not None and base.batch_size != batch_size:
+            raise ValueError(
+                f"conflicting bucket sizes: batch_size={batch_size} vs "
+                f"options.batch_size={base.batch_size}"
+            )
+        options = base.replace(batch_size=batch_size)
+    opts = options if options is not None else EngineOptions()
+    fn = get_engine(engine)
+    params = ENGINES.meta(engine).get("option_params", _DEFAULT_OPTION_PARAMS)
+    return fn(tasks, **opts.engine_kwargs(params))

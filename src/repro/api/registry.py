@@ -63,6 +63,7 @@ class Registry(Generic[T]):
     def __init__(self, kind: str) -> None:
         self._kind = kind
         self._entries: Dict[str, T] = {}
+        self._meta: Dict[str, Dict[str, object]] = {}
 
     @property
     def kind(self) -> str:
@@ -78,8 +79,15 @@ class Registry(Generic[T]):
         obj: Optional[T] = None,
         *,
         replace: bool = False,
+        meta: Optional[Dict[str, object]] = None,
     ) -> Callable[[T], T] | T:
-        """Register ``obj`` under ``name``; decorator form when ``obj`` is omitted."""
+        """Register ``obj`` under ``name``; decorator form when ``obj`` is omitted.
+
+        ``meta`` attaches an optional capability mapping to the entry
+        (queried through :meth:`meta`); re-registering without ``meta``
+        clears any previous mapping, so a ``replace=True`` override never
+        inherits capabilities it did not declare.
+        """
         if not isinstance(name, str) or not name:
             raise RegistryError(
                 f"{self._kind} names must be non-empty strings (got {name!r})"
@@ -92,6 +100,10 @@ class Registry(Generic[T]):
                     f"pass replace=True to override it"
                 )
             self._entries[name] = value
+            if meta is None:
+                self._meta.pop(name, None)
+            else:
+                self._meta[name] = dict(meta)
             return value
 
         if obj is None:
@@ -101,11 +113,25 @@ class Registry(Generic[T]):
     def unregister(self, name: str) -> T:
         """Remove and return one entry (KeyError when absent)."""
         try:
-            return self._entries.pop(name)
+            entry = self._entries.pop(name)
         except KeyError:
             raise KeyError(
                 f"unknown {self._kind} {name!r}; available: {list(self._entries)}"
             ) from None
+        self._meta.pop(name, None)
+        return entry
+
+    def meta(self, name: str) -> Dict[str, object]:
+        """The capability mapping registered for ``name`` (may be empty).
+
+        Raises the same name-listing KeyError as :meth:`get` for unknown
+        names, so callers can probe capabilities without a prior lookup.
+        """
+        if name not in self._entries:
+            raise KeyError(
+                f"unknown {self._kind} {name!r}; available: {list(self._entries)}"
+            )
+        return dict(self._meta.get(name, {}))
 
     # ------------------------------------------------------------------
     # lookup

@@ -23,6 +23,7 @@ implementations the deprecation shims use.
 
 from __future__ import annotations
 
+import warnings
 from typing import (
     Any,
     Callable,
@@ -43,7 +44,7 @@ from repro.align.batch import DEFAULT_BUCKET_SIZE
 from repro.align.scoring import ScoringScheme
 from repro.align.types import AlignmentTask
 from repro.api.compare import compare_suite
-from repro.api.engines import align_tasks, get_engine
+from repro.api.engines import EngineOptions, align_tasks, get_engine
 from repro.api.results import (
     AlignmentOutcome,
     ComparisonOutcome,
@@ -87,11 +88,17 @@ class Session:
         default, ``"scalar"`` for the oracle path).
     suite:
         Default kernel suite for :meth:`compare` (``"mm2"`` by default).
-    batch_size:
-        Bucket size of the batch engine, also applied to the kernels'
-        batched scoring path.  ``None`` (the default) inherits
+    options:
+        Typed engine tuning (:class:`repro.api.EngineOptions`):
+        ``batch_size`` is the bucket size of the batch engine, also
+        applied to the kernels' batched scoring path (``None`` inherits
         ``kernel_config.batch_bucket_size`` when a kernel config is
-        given, else the engine default.
+        given, else the engine default); ``slice_width`` tunes the
+        sliced engines.
+    batch_size:
+        Deprecated alias for ``options=EngineOptions(batch_size=...)``;
+        still honoured bit-identically, but emits a
+        ``DeprecationWarning``.
     kernel_config:
         Base :class:`KernelConfig` for kernels built by this session.
     hardware_scale, device, cpu, cost:
@@ -141,6 +148,7 @@ class Session:
         *,
         engine: str = "batch",
         suite: str = "mm2",
+        options: Optional[EngineOptions] = None,
         batch_size: Optional[int] = None,
         kernel_config: Optional[KernelConfig] = None,
         hardware_scale: float = DEFAULT_HARDWARE_SCALE,
@@ -171,7 +179,23 @@ class Session:
         self.scoring = scoring
         self.engine = engine
         self.suite = suite
-        self.batch_size = batch_size
+        if batch_size is not None:
+            warnings.warn(
+                "Session(batch_size=...) is deprecated; pass "
+                "options=EngineOptions(batch_size=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            base = options if options is not None else EngineOptions()
+            if base.batch_size is not None and base.batch_size != batch_size:
+                raise ValueError(
+                    f"conflicting bucket sizes: batch_size={batch_size} vs "
+                    f"options.batch_size={base.batch_size}"
+                )
+            options = base.replace(batch_size=batch_size)
+        self.options = options if options is not None else EngineOptions()
+        #: Legacy mirror of ``options.batch_size`` (kept for compatibility).
+        self.batch_size = self.options.batch_size
         self.kernel_config = kernel_config
         self.hardware_scale = hardware_scale
         self._device = device
@@ -200,11 +224,21 @@ class Session:
 
     def effective_batch_size(self) -> int:
         """The batch-engine bucket size this session actually uses."""
-        if self.batch_size is not None:
-            return self.batch_size
+        if self.options.batch_size is not None:
+            return self.options.batch_size
         if self.kernel_config is not None:
             return self.kernel_config.batch_bucket_size
         return DEFAULT_BUCKET_SIZE
+
+    def engine_options(self) -> EngineOptions:
+        """The resolved :class:`EngineOptions` this session's engine sees.
+
+        The configured options with ``batch_size`` pinned to
+        :meth:`effective_batch_size` (so the kernel-config fallback is
+        reflected), ready to hand to :func:`repro.api.align_tasks` or
+        :func:`repro.api.open_batch`.
+        """
+        return self.options.replace(batch_size=self.effective_batch_size())
 
     def effective_kernel_config(self) -> KernelConfig:
         """The kernel config with the session's batch size applied.
@@ -213,8 +247,8 @@ class Session:
         ``kernel_config.batch_bucket_size`` is left untouched.
         """
         base = self.kernel_config or KernelConfig()
-        if self.batch_size is not None:
-            base = base.replace(batch_bucket_size=self.batch_size)
+        if self.options.batch_size is not None:
+            base = base.replace(batch_bucket_size=self.options.batch_size)
         return base
 
     def kernels(self, suite: Optional[str] = None) -> Dict[str, GuidedKernel]:
@@ -257,10 +291,12 @@ class Session:
     ) -> AlignmentOutcome:
         """Score the workload (or ``tasks``) with the configured engine."""
         workload = tuple(tasks) if tasks is not None else self.workload()
-        batch_size = self.effective_batch_size()
-        results = align_tasks(workload, engine=self.engine, batch_size=batch_size)
+        options = self.engine_options()
+        results = align_tasks(workload, engine=self.engine, options=options)
         return AlignmentOutcome(
-            engine=self.engine, batch_size=batch_size, results=tuple(results)
+            engine=self.engine,
+            batch_size=options.batch_size,
+            results=tuple(results),
         )
 
     # ------------------------------------------------------------------
@@ -371,7 +407,9 @@ class Session:
 
         if config is None:
             config = ServeConfig(
-                engine=self.engine, batch_size=self.effective_batch_size()
+                engine=self.engine,
+                batch_size=self.effective_batch_size(),
+                options=self.engine_options(),
             )
         if overrides:
             config = config.replace(**overrides)

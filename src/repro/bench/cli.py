@@ -25,12 +25,31 @@ from importlib import import_module
 from typing import List, Optional, Sequence, Tuple
 
 from repro.align.batch import ENGINE_SLICE_WIDTHS
+from repro.api.engines import engine_names, unavailable_engines
 from repro.api.suites import suite_names
 from repro.bench.compare import DEFAULT_TOLERANCE, compare_records, format_report
 from repro.bench.records import BenchRecord
 from repro.bench.runner import FIGURES, BenchCell, run_figure
 
 __all__ = ["main"]
+
+
+def _scoring_engine_choices() -> List[str]:
+    """Batch-capable engines actually registered on this install."""
+    return sorted(set(ENGINE_SLICE_WIDTHS) & set(engine_names()))
+
+
+def _check_scoring_engine(name: str) -> Optional[str]:
+    """An error message when ``name`` cannot prime profiles, else None."""
+    if name in _scoring_engine_choices():
+        return None
+    unavailable = unavailable_engines()
+    if name in unavailable:
+        return f"engine {name!r} is known but unavailable: {unavailable[name]}"
+    return (
+        f"unknown scoring engine {name!r}; "
+        f"choices: {', '.join(_scoring_engine_choices())}"
+    )
 
 
 def _run_parser() -> argparse.ArgumentParser:
@@ -78,12 +97,16 @@ def _run_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scoring-engine",
-        choices=sorted(ENGINE_SLICE_WIDTHS),
+        metavar="ENGINE",
+        # Validated in _run_main against the live engine registry (not a
+        # hardcoded argparse choices tuple) so the error can explain
+        # *why* a known engine is unavailable on this install.
         help="batch-capable engine that primes task profiles inside each "
         "cell (KernelConfig.scoring_engine); results and records are "
         "bit-identical either way, batch-sliced skips post-termination "
         "sweep work and vector (requires the [vector] extra) does the "
-        "same with whole-array NumPy sweeps (default: batch)",
+        "same with whole-array NumPy sweeps "
+        f"(choices: {', '.join(_scoring_engine_choices())}; default: batch)",
     )
     parser.add_argument(
         "--output",
@@ -197,7 +220,8 @@ def _run_main(argv: Sequence[str]) -> int:
     argv, plugins = _extract_plugins(argv)
     for module in plugins:
         import_module(module)
-    args = _run_parser().parse_args(argv)
+    parser = _run_parser()
+    args = parser.parse_args(argv)
     if args.cache_info or args.cache_clear:
         return _cache_admin(args)
 
@@ -210,6 +234,9 @@ def _run_main(argv: Sequence[str]) -> int:
 
     config = None
     if args.scoring_engine is not None:
+        problem = _check_scoring_engine(args.scoring_engine)
+        if problem is not None:
+            parser.error(f"argument --scoring-engine: {problem}")
         from repro.kernels import KernelConfig
 
         config = KernelConfig(scoring_engine=args.scoring_engine)

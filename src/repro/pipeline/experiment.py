@@ -176,10 +176,12 @@ def align_workload(
         "repro.pipeline.experiment.align_workload(batched=...)",
         "repro.api.align_tasks(engine=...)",
     )
-    from repro.api.engines import align_tasks
+    from repro.api.engines import EngineOptions, align_tasks
 
     return align_tasks(
-        tasks, engine="batch" if batched else "scalar", batch_size=batch_size
+        tasks,
+        engine="batch" if batched else "scalar",
+        options=EngineOptions(batch_size=batch_size),
     )
 
 

@@ -167,9 +167,13 @@ class LongReadMapper:
     ) -> List[AlignmentResult]:
         """Align extension tasks with the configured engine."""
         # Imported lazily: repro.api.session imports this module.
-        from repro.api.engines import align_tasks
+        from repro.api.engines import EngineOptions, align_tasks
 
-        return align_tasks(tasks, engine=self.engine, batch_size=self.batch_size)
+        return align_tasks(
+            tasks,
+            engine=self.engine,
+            options=EngineOptions(batch_size=self.batch_size),
+        )
 
     def map_read(self, read: np.ndarray, read_id: int = 0) -> ReadMapping:
         """Map one read end to end (chain + extension alignment)."""

@@ -20,7 +20,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.io.datasets import DATASET_REGISTRY
-from repro.serve.config import TIMING_MODES, ServeConfig
+from repro.serve.config import REFILL_MODES, TIMING_MODES, ServeConfig
 from repro.serve.loadgen import LoadGenerator, RequestTrace
 from repro.serve.scheduler import ServeReport, replay
 from repro.serve.telemetry import serve_bench_record
@@ -28,6 +28,27 @@ from repro.serve.telemetry import serve_bench_record
 __all__ = ["main"]
 
 ARRIVAL_PROCESSES = ("poisson", "bursty", "replay")
+
+
+def _engine_help() -> str:
+    """Dynamic --engine help derived from the live registry."""
+    from repro.api.engines import engine_names, supports_streaming, unavailable_engines
+
+    names = ", ".join(
+        f"{name}*" if supports_streaming(name) else name for name in engine_names()
+    )
+    missing = unavailable_engines()
+    hint = (
+        "; unavailable here: "
+        + ", ".join(f"{name} ({reason})" for name, reason in missing.items())
+        if missing
+        else ""
+    )
+    return (
+        f"alignment engine from the repro.api registry (choices: {names}; "
+        f"* streams natively and defaults to continuous refill{hint}; "
+        "default: batch)"
+    )
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -77,7 +98,10 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine",
         default="batch",
-        help="alignment engine from the repro.api registry (default: batch)",
+        metavar="ENGINE",
+        # Validated by ServeConfig against the live registry (a KeyError
+        # for a known-but-unavailable engine explains how to enable it).
+        help=_engine_help(),
     )
     parser.add_argument(
         "--batch-size",
@@ -85,6 +109,22 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         metavar="B",
         help="engine bucket size (default: the engine default)",
+    )
+    parser.add_argument(
+        "--slice-width",
+        type=int,
+        default=None,
+        metavar="W",
+        help="anti-diagonals per slice for streaming engines "
+        "(default: the engine default)",
+    )
+    parser.add_argument(
+        "--refill",
+        default="auto",
+        choices=REFILL_MODES,
+        help="lane-refill policy: continuous admits requests into freed "
+        "lanes at slice boundaries, drain runs each batch to completion "
+        "(default: auto = continuous for streaming engines)",
     )
     parser.add_argument(
         "--max-batch",
@@ -158,11 +198,19 @@ def _make_trace(generator: LoadGenerator, args: argparse.Namespace) -> RequestTr
 def _format_report(report: ServeReport) -> List[str]:
     latency = report.telemetry["latency_ms"]
     wait = report.telemetry["wait_ms"]
+    lanes = report.telemetry["lane_occupancy"]
+    refill = report.telemetry["refill"]
     assert isinstance(latency, dict) and isinstance(wait, dict)
+    assert isinstance(lanes, dict) and isinstance(refill, dict)
+    lane_line = (
+        f"  mean lane occupancy   : {lanes['mean']:.2f} over {lanes['slices']} "
+        f"slices ({refill['admitted_inflight']} refill admissions)"
+    )
     return [
         f"[{report.policy}]",
         f"  requests / batches    : {report.num_requests} / {report.telemetry['batches']}",
         f"  mean batch occupancy  : {report.telemetry['mean_batch_occupancy']:.2f}",
+        lane_line,
         f"  drain makespan        : {report.makespan_ms:.2f} ms",
         f"  throughput            : {report.throughput_rps:.1f} req/s",
         "  latency p50/p95/p99   : "
@@ -182,14 +230,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             use_cache=not args.no_cache,
         )
         trace = _make_trace(generator, args)
+        from repro.api.engines import EngineOptions
+
         config = ServeConfig(
             engine=args.engine,
-            batch_size=args.batch_size,
             max_batch_size=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             workers=args.workers,
             length_aware=not args.fifo,
             timing=args.timing,
+            options=EngineOptions(
+                batch_size=args.batch_size, slice_width=args.slice_width
+            ),
+            refill=args.refill,
         )
         if not args.quiet:
             print(
@@ -211,8 +264,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for report in reports:
                 print("\n".join(_format_report(report)))
             if len(reports) == 2:
-                speedup = record.suites["serve"].speedups["microbatch"]["GeoMean"]
-                print(f"micro-batching speedup: {speedup:.2f}x over batch-size-1")
+                main_policy = reports[0].policy
+                speedup = record.suites["serve"].speedups[main_policy]["GeoMean"]
+                print(f"{main_policy} speedup: {speedup:.2f}x over batch-size-1")
         print(f"wrote {path}")
         return 0
     except (KeyError, ValueError, FileNotFoundError) as exc:

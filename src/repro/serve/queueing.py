@@ -17,6 +17,17 @@ two questions:
   lengths and engine-side padding stays cheap.  (This is the serving
   mirror of the batch engine's own bucketing; see DESIGN.md.)
 
+Streaming engines add a third question -- **who refills** a lane freed
+by compaction mid-sweep.  :meth:`MicroBatcher.take` answers it: remove
+up to ``limit`` requests for immediate admission into an in-flight
+batch, highest :attr:`ServeRequest.priority` class first and oldest
+first within a class.  Length-aware grouping deliberately does not
+apply to refill -- a freed lane takes whatever is oldest/most urgent,
+exactly like the paper's subwarp rejoining takes the next task
+regardless of length.  :meth:`MicroBatcher.preempt` is the matching
+preemption hook: pull chosen requests back out of the queue (to
+re-prioritise, reject under overload, or hand to another server).
+
 Because the policy object never touches clocks, threads or engines, the
 replay and the live service form *identical* batches for identical
 arrival sequences.
@@ -25,7 +36,7 @@ arrival sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.align.types import AlignmentResult, AlignmentTask
 from repro.core.uneven_bucketing import length_bucket_order
@@ -42,11 +53,17 @@ class ServeRequest:
     ``completion_ms`` / ``result`` are filled in as the request
     progresses.  Requests compare by identity (``eq=False``): two
     submissions of the same task are distinct requests.
+
+    ``priority`` is the request's class (higher serves first); it only
+    influences *refill* selection (:meth:`MicroBatcher.take`) -- batch
+    formation stays strictly arrival-ordered so the ``max_wait_ms``
+    deadline argument is unchanged.
     """
 
     task: AlignmentTask
     request_id: int
     arrival_ms: float = 0.0
+    priority: int = 0
     dispatch_ms: Optional[float] = None
     completion_ms: Optional[float] = None
     batch_occupancy: int = 0
@@ -165,3 +182,52 @@ class MicroBatcher:
             request.dispatch_ms = now_ms
             request.batch_occupancy = len(batch)
         return batch
+
+    # ------------------------------------------------------------------
+    # streaming refill + preemption hooks
+    # ------------------------------------------------------------------
+    def take(self, limit: int, now_ms: float) -> List[ServeRequest]:
+        """Remove up to ``limit`` requests for refill into an in-flight batch.
+
+        Selection is by priority class (highest :attr:`ServeRequest.priority`
+        first), oldest first within a class.  Length-aware grouping does not
+        apply: a freed lane takes the most urgent pending request regardless
+        of its sweep length (see the module docstring).  Dispatch time is
+        stamped on every taken request; the caller stamps
+        ``batch_occupancy`` once it knows the post-admission live count.
+        """
+        if limit <= 0 or not self._pending:
+            return []
+        order = sorted(
+            range(len(self._pending)),
+            key=lambda index: (-self._pending[index].priority, index),
+        )
+        members = set(order[: int(limit)])
+        batch = [self._pending[index] for index in sorted(members)]
+        self._pending = [
+            request
+            for index, request in enumerate(self._pending)
+            if index not in members
+        ]
+        for request in batch:
+            request.dispatch_ms = now_ms
+        return batch
+
+    def preempt(
+        self, predicate: Callable[[ServeRequest], bool]
+    ) -> List[ServeRequest]:
+        """Remove and return every pending request matching ``predicate``.
+
+        This is the scheduler-side preemption hook: under overload a
+        driver can pull low-priority requests back out of the queue to
+        reject, re-prioritise, or hand to another server.  Requests keep
+        their stamps; the remaining queue preserves arrival order (so
+        :meth:`next_deadline_ms` stays O(1)).
+        """
+        taken = [request for request in self._pending if predicate(request)]
+        if taken:
+            kept = set(map(id, taken))
+            self._pending = [
+                request for request in self._pending if id(request) not in kept
+            ]
+        return taken

@@ -3,31 +3,54 @@
 :func:`replay` drains a :class:`~repro.serve.loadgen.RequestTrace`
 through the :class:`~repro.serve.queueing.MicroBatcher` policy as a
 discrete-event simulation: a virtual clock advances from arrival to
-dispatch to completion, ``config.workers`` parallel servers are modeled
-as a bank of busy-until times, and every formed batch is executed **for
-real** through the configured :mod:`repro.api` engine (results are the
-point of serving; only *time* is simulated).
+dispatch to completion, and every formed batch is executed **for real**
+through the configured :mod:`repro.api` engine (results are the point of
+serving; only *time* is simulated).
 
-Two timing sources:
+Two dispatch disciplines, selected by ``config.resolved_refill()``:
+
+``"drain"`` (drain-then-form)
+    The classic loop: ``config.workers`` parallel servers are modeled as
+    a bank of busy-until times, a dispatched batch runs to completion,
+    and only then is the queue looked at again.  Batches execute through
+    a one-shot :class:`repro.api.InFlightBatch` handle (streaming
+    engines still stream internally, but get no refill).
+``"continuous"`` (continuous lane refill)
+    One streaming handle stays open for the whole busy period.  The
+    clock advances one engine *slice* at a time; at every slice boundary
+    newly arrived requests are admitted into lanes freed by compaction
+    (:meth:`MicroBatcher.take`, priority-ordered).  While the stream is
+    idle the normal cut conditions apply unchanged, so the
+    ``max_wait_ms`` contract is preserved -- refill admission can only
+    shorten waits, never lengthen them.
+
+Three timing sources:
 
 ``timing="measured"``
-    The engine call is wall-clocked and that duration is charged to the
-    virtual clock -- an offline load test of the real engine, which is
-    what the serve benchmark records.
+    The engine call (one drained batch, or one slice) is wall-clocked
+    and that duration is charged to the virtual clock -- an offline load
+    test of the real engine, which is what the serve benchmark records.
 ``timing="modeled"``
-    Service time comes from :func:`modeled_service_ms`, a deterministic
-    linear model; the entire drain (batches, timestamps, telemetry)
-    becomes a pure function of the trace and the configuration.  The
-    scheduler-invariant tests run in this mode: *no request waits past
-    ``max_wait_ms`` in virtual time* while a server is idle.
+    Service time comes from :func:`modeled_service_ms` (per batch) or
+    :func:`modeled_slice_ms` (per slice), deterministic linear models;
+    the entire drain (batches, timestamps, telemetry) becomes a pure
+    function of the trace and the configuration.  The two models charge
+    the same per-task and per-anti-diagonal rates, and continuous mode
+    pays the dispatch overhead once per busy period (the stream behaves
+    like a persistent kernel), so makespan differences between the modes
+    come from scheduling, not from inconsistent accounting.
+``service_time=...``
+    An injectable override (tests use constants): called per batch in
+    drain mode, per slice (with the live tasks) in continuous mode.
 
-The event loop has one rule worth stating: a batch is dispatched at
-``t = max(worker-free time, ready time)`` where ready is "queue reached
-``max_batch_size``" or "oldest pending request hit its deadline" --
-unless an earlier arrival would change the picture, in which case the
+The drain event loop has one rule worth stating: a batch is dispatched
+at ``t = max(worker-free time, ready time)`` where ready is "queue
+reached ``max_batch_size``" or "oldest pending request hit its deadline"
+-- unless an earlier arrival would change the picture, in which case the
 clock advances to that arrival first.  Ties (an arrival at exactly the
 dispatch time) resolve in favour of dispatching, so a request never
-waits on a same-instant arrival.
+waits on a same-instant arrival.  The continuous loop inherits the same
+rule for dispatches into an idle stream.
 """
 
 from __future__ import annotations
@@ -37,13 +60,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.align.batch import DEFAULT_SLICE_WIDTH
 from repro.align.types import AlignmentResult, AlignmentTask
 from repro.serve.config import ServeConfig
 from repro.serve.loadgen import RequestTrace
 from repro.serve.queueing import MicroBatcher, ServeRequest
 from repro.serve.telemetry import TelemetrySink
 
-__all__ = ["ServeReport", "modeled_service_ms", "replay"]
+__all__ = ["ServeReport", "modeled_service_ms", "modeled_slice_ms", "replay"]
 
 _INF = float("inf")
 
@@ -67,6 +91,30 @@ def modeled_service_ms(tasks: Sequence[AlignmentTask], config: ServeConfig) -> f
         config.model_overhead_ms
         + config.model_task_us * len(tasks) / 1000.0
         + config.model_antidiag_us * longest / 1000.0
+    )
+
+
+def modeled_slice_ms(
+    config: ServeConfig,
+    *,
+    slice_width: int,
+    admitted: int,
+    busy_start: bool,
+) -> float:
+    """Deterministic service time of one streaming slice.
+
+    The same rates as :func:`modeled_service_ms`, charged per slice: the
+    sweep term covers ``slice_width`` anti-diagonals, the per-task term
+    is paid once per *admission* (setup of a lane), and the dispatch
+    overhead only at a busy-period start -- a continuously-refilled
+    stream is a persistent kernel, so total modeled work over a busy
+    period matches the drain model and any makespan/latency difference
+    comes from scheduling.
+    """
+    return (
+        (config.model_overhead_ms if busy_start else 0.0)
+        + config.model_task_us * admitted / 1000.0
+        + config.model_antidiag_us * slice_width / 1000.0
     )
 
 
@@ -115,17 +163,32 @@ def replay(
     """Drain ``trace`` through the service policy on a virtual clock.
 
     ``service_time`` overrides the timing mode with an arbitrary model
-    (tests use constants); otherwise ``config.timing`` picks measured or
+    (tests use constants); it is called per batch under drain-then-form
+    and per slice (with the tasks live during that slice) under
+    continuous refill.  Otherwise ``config.timing`` picks measured or
     modeled durations.  Results are bit-identical to scoring the trace's
-    tasks directly with the configured engine -- batching never changes
-    the arithmetic.
+    tasks directly with the configured engine -- neither batching nor
+    refill ever changes the arithmetic.
     """
     config = config or ServeConfig()
-    from repro.api.engines import get_engine
+    if config.resolved_refill() == "continuous":
+        return _replay_continuous(trace, config, policy=policy, service_time=service_time)
+    return _replay_drain(trace, config, policy=policy, service_time=service_time)
 
-    engine = get_engine(config.engine)
-    engine_bucket = config.effective_batch_size()
 
+# ----------------------------------------------------------------------
+# drain-then-form
+# ----------------------------------------------------------------------
+def _replay_drain(
+    trace: RequestTrace,
+    config: ServeConfig,
+    *,
+    policy: Optional[str],
+    service_time: Optional[ServiceTime],
+) -> ServeReport:
+    from repro.api.engines import open_batch
+
+    options = config.engine_options()
     requests = trace.requests()
     queue = deque(sorted(requests, key=lambda r: (r.arrival_ms, r.request_id)))
     batcher = MicroBatcher(
@@ -140,6 +203,31 @@ def replay(
         while queue and queue[0].arrival_ms <= limit_ms:
             batcher.add(queue.popleft())
             sink.record_queue_depth(len(batcher))
+
+    def execute(tasks: Sequence[AlignmentTask]) -> Tuple[List[AlignmentResult], float]:
+        capacity = max(config.max_batch_size, len(tasks))
+        if service_time is not None:
+            handle = open_batch(
+                tasks, engine=config.engine, options=options, capacity=capacity
+            )
+            results = handle.drain()
+            duration = float(service_time(tasks))
+        elif config.timing == "modeled":
+            handle = open_batch(
+                tasks, engine=config.engine, options=options, capacity=capacity
+            )
+            results = handle.drain()
+            duration = modeled_service_ms(tasks, config)
+        else:
+            started = time.perf_counter()
+            handle = open_batch(
+                tasks, engine=config.engine, options=options, capacity=capacity
+            )
+            results = handle.drain()
+            duration = (time.perf_counter() - started) * 1000.0
+        for stat in handle.stats:
+            sink.record_slice(stat)
+        return results, duration
 
     while queue or len(batcher):
         next_arrival = queue[0].arrival_ms if queue else _INF
@@ -162,17 +250,9 @@ def replay(
             continue
         now = max(now, dispatch_at)
         batch = batcher.form_batch(now)
+        sink.record_queue_depth(len(batcher))  # dispatched requests left the queue
         tasks = [request.task for request in batch]
-        if service_time is not None:
-            results = engine(tasks, batch_size=engine_bucket)
-            duration = float(service_time(tasks))
-        elif config.timing == "modeled":
-            results = engine(tasks, batch_size=engine_bucket)
-            duration = modeled_service_ms(tasks, config)
-        else:
-            started = time.perf_counter()
-            results = engine(tasks, batch_size=engine_bucket)
-            duration = (time.perf_counter() - started) * 1000.0
+        results, duration = execute(tasks)
         if len(results) != len(batch):
             raise ValueError(
                 f"engine {config.engine!r} returned {len(results)} results "
@@ -188,6 +268,133 @@ def replay(
         for request, result in zip(batch, results):
             request.result = result
             request.completion_ms = completion
+            sink.record_request(request.wait_ms, request.latency_ms)
+
+    return ServeReport(
+        policy=policy if policy is not None else config.policy_name,
+        workload=trace.name,
+        config=config,
+        requests=tuple(requests),
+        makespan_ms=makespan_end,
+        telemetry=sink.summary(),
+    )
+
+
+# ----------------------------------------------------------------------
+# continuous lane refill
+# ----------------------------------------------------------------------
+def _replay_continuous(
+    trace: RequestTrace,
+    config: ServeConfig,
+    *,
+    policy: Optional[str],
+    service_time: Optional[ServiceTime],
+) -> ServeReport:
+    """One streaming handle, refilled at every slice boundary.
+
+    Models a single device whose lane capacity is ``max_batch_size``
+    (``config.workers`` is a drain-mode knob).  The invariant split:
+
+    * stream **idle** -- the normal cut conditions decide when to
+      dispatch, exactly like drain mode, so ``max_wait_ms`` holds;
+    * stream **busy** -- refill is free: every pending request is
+      admitted into a free lane at the very next slice boundary,
+      priority classes first (length-aware grouping never delays
+      refill).
+    """
+    from repro.api.engines import open_batch
+
+    options = config.engine_options()
+    slice_width = (
+        options.slice_width if options.slice_width is not None else DEFAULT_SLICE_WIDTH
+    )
+    stream = open_batch(
+        (), engine=config.engine, options=options, capacity=config.max_batch_size
+    )
+    requests = trace.requests()
+    queue = deque(sorted(requests, key=lambda r: (r.arrival_ms, r.request_id)))
+    batcher = MicroBatcher(
+        config.max_batch_size, config.max_wait_ms, length_aware=config.length_aware
+    )
+    sink = TelemetrySink()
+    inflight: Dict[int, ServeRequest] = {}
+    now = 0.0
+    makespan_end = 0.0
+
+    def admit_until(limit_ms: float) -> None:
+        while queue and queue[0].arrival_ms <= limit_ms:
+            batcher.add(queue.popleft())
+            sink.record_queue_depth(len(batcher))
+
+    def admit_to_stream(batch: List[ServeRequest]) -> None:
+        indices = stream.admit([request.task for request in batch])
+        for index, request in zip(indices, batch):
+            inflight[index] = request
+
+    while queue or len(batcher) or stream.live:
+        admit_until(now)
+        busy_start = stream.live == 0
+        admitted_now = 0
+        if stream.live:
+            # Refill: freed lanes take pending requests immediately.
+            taken = batcher.take(stream.free, now) if stream.free else []
+            if taken:
+                admit_to_stream(taken)
+                for request in taken:
+                    request.batch_occupancy = stream.live
+                admitted_now = len(taken)
+                sink.record_refill(len(taken))
+                sink.record_queue_depth(len(batcher))
+        else:
+            next_arrival = queue[0].arrival_ms if queue else _INF
+            if not len(batcher):
+                if not queue:
+                    break
+                now = max(now, next_arrival)
+                continue
+            if batcher.size_ready():
+                dispatch_at = now
+            else:
+                deadline = batcher.next_deadline_ms()
+                assert deadline is not None
+                dispatch_at = max(deadline, now)
+            if next_arrival < dispatch_at:
+                now = next_arrival
+                continue
+            now = max(now, dispatch_at)
+            batch = batcher.form_batch(now)
+            admit_to_stream(batch)
+            admitted_now = len(batch)
+            sink.record_batch(len(batch))
+            sink.record_queue_depth(len(batcher))
+
+        # One slice of the in-flight batch.
+        live_tasks = [inflight[index].task for index in sorted(inflight)]
+        if service_time is not None:
+            stats = stream.step(1)
+            duration = float(service_time(live_tasks))
+        elif config.timing == "modeled":
+            stats = stream.step(1)
+            duration = modeled_slice_ms(
+                config,
+                slice_width=slice_width,
+                admitted=admitted_now,
+                busy_start=busy_start,
+            )
+        else:
+            started = time.perf_counter()
+            stats = stream.step(1)
+            duration = (time.perf_counter() - started) * 1000.0
+        if duration < 0:
+            raise ValueError("service time must be non-negative")
+        now += duration
+        for stat in stats:
+            sink.record_slice(stat)
+        for index, result in stream.take_completed():
+            request = inflight.pop(index)
+            request.result = result
+            request.completion_ms = now
+            makespan_end = max(makespan_end, now)
             sink.record_request(request.wait_ms, request.latency_ms)
 
     return ServeReport(

@@ -17,6 +17,16 @@ being scored.  Threads are the right pool here -- the engines spend
 their time in NumPy kernels that release the GIL, and tasks must not be
 pickled per request.
 
+When the configuration resolves to continuous refill
+(``config.resolved_refill() == "continuous"``, the default for
+streaming engines such as ``"batch-sliced"``), the scheduler thread
+instead keeps one :class:`repro.api.InFlightBatch` open and runs it
+slice by slice, admitting newly submitted tasks into lanes freed by
+compaction at every slice boundary (:meth:`MicroBatcher.take`).  The
+``max_wait_ms`` contract is unchanged: an idle stream dispatches under
+the normal cut conditions, and a busy stream admits pending requests at
+the very next boundary, which can only shorten waits.
+
 Exactness: a served task's result is bit-identical to scoring it with
 :meth:`repro.api.Session.align` -- the service only decides *when* and
 *with whom* a task is scored, never *how*.
@@ -57,6 +67,7 @@ class AlignmentService:
 
         self._engine = get_engine(self.config.engine)
         self._engine_bucket = self.config.effective_batch_size()
+        self._refill = self.config.resolved_refill()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._batcher = MicroBatcher(
@@ -151,6 +162,9 @@ class AlignmentService:
     # scheduler thread
     # ------------------------------------------------------------------
     def _scheduler_loop(self) -> None:
+        if self._refill == "continuous":
+            self._stream_loop()
+            return
         while True:
             with self._wakeup:
                 while True:
@@ -169,10 +183,98 @@ class AlignmentService:
                     self._wakeup.wait(timeout)
                 futures = [self._futures.pop(r.request_id) for r in batch]
                 self.telemetry.record_batch(len(batch))
+                # Dispatched requests left the queue: sample the depth so
+                # backpressure telemetry sees them as dequeued now, not at
+                # batch completion.
+                self.telemetry.record_queue_depth(len(self._batcher))
             if self._pool is not None:
                 self._pool.submit(self._execute, batch, futures)
             else:
                 self._execute(batch, futures)
+
+    def _stream_loop(self) -> None:
+        """Continuous-refill scheduler: one in-flight batch, slice-stepped.
+
+        Runs entirely on the scheduler thread (the stream serialises
+        execution, so there is nothing for a worker pool to overlap);
+        between slices the thread re-acquires the lock, collects newly
+        submitted requests and admits them into freed lanes.
+        """
+        from repro.api.engines import open_batch
+
+        stream = open_batch(
+            (),
+            engine=self.config.engine,
+            options=self.config.engine_options(),
+            capacity=self.config.max_batch_size,
+        )
+        inflight: Dict[int, tuple] = {}
+        while True:
+            with self._wakeup:
+                while True:
+                    now = self._now_ms()
+                    if stream.live:
+                        # Busy stream: refill free lanes immediately.
+                        batch = (
+                            self._batcher.take(stream.free, now)
+                            if stream.free
+                            else []
+                        )
+                        break
+                    if len(self._batcher) and (
+                        self._stopping or self._batcher.ready(now)
+                    ):
+                        batch = self._batcher.form_batch(now)
+                        break
+                    if self._stopping and not len(self._batcher):
+                        return
+                    deadline = self._batcher.next_deadline_ms()
+                    timeout = (
+                        None if deadline is None else max(deadline - now, 0.0) / 1000.0
+                    )
+                    self._wakeup.wait(timeout)
+                futures = [self._futures.pop(r.request_id) for r in batch]
+                if batch:
+                    if stream.live:
+                        self.telemetry.record_refill(len(batch))
+                    else:
+                        self.telemetry.record_batch(len(batch))
+                    self.telemetry.record_queue_depth(len(self._batcher))
+            try:
+                if batch:
+                    indices = stream.admit([request.task for request in batch])
+                    for index, request, future in zip(indices, batch, futures):
+                        inflight[index] = (request, future)
+                    for request in batch:
+                        request.batch_occupancy = stream.live
+                stats = stream.step(1)
+                completion = self._now_ms()
+                completed = stream.take_completed()
+            except BaseException as exc:  # engine failure fans out, never hangs
+                for _, future in inflight.values():
+                    future.set_exception(exc)
+                inflight.clear()
+                with self._wakeup:
+                    self._stopping = True
+                    self._closed = True
+                    stranded = self._batcher.preempt(lambda request: True)
+                    for request in stranded:
+                        pending = self._futures.pop(request.request_id, None)
+                        if pending is not None:
+                            pending.set_exception(exc)
+                return
+            resolved = []
+            with self._lock:
+                for stat in stats:
+                    self.telemetry.record_slice(stat)
+                for index, result in completed:
+                    request, future = inflight.pop(index)
+                    request.result = result
+                    request.completion_ms = completion
+                    self.telemetry.record_request(request.wait_ms, request.latency_ms)
+                    resolved.append((future, result))
+            for future, result in resolved:
+                future.set_result(result)
 
     def _execute(
         self,

@@ -1,12 +1,15 @@
 """Latency / throughput telemetry of the alignment service.
 
-The sink collects three kinds of samples while a drain runs -- queue
-depth (sampled at every arrival), batch occupancy (one sample per
-dispatched batch) and per-request wait / end-to-end latency -- and
-renders them as a versioned summary dict (``SERVE_SCHEMA_VERSION``).
-Percentiles use the nearest-rank definition on sorted samples, so a
-summary is a pure function of the sample multiset: deterministic
-replays produce bit-identical telemetry.
+The sink collects five kinds of samples while a drain runs -- queue
+depth (sampled at every arrival *and* at every dispatch or refill
+admission, so requests admitted into an in-flight batch count as
+dequeued), batch occupancy (one sample per dispatched batch), per-slice
+lane occupancy (one sample per engine slice, the occupancy-over-time
+view of continuous refill), in-flight refill admissions, and per-request
+wait / end-to-end latency -- and renders them as a versioned summary
+dict (``SERVE_SCHEMA_VERSION``).  Percentiles use the nearest-rank
+definition on sorted samples, so a summary is a pure function of the
+sample multiset: deterministic replays produce bit-identical telemetry.
 
 :func:`serve_bench_record` folds one or more
 :class:`~repro.serve.scheduler.ServeReport` objects into the same
@@ -25,6 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.align.streaming import SliceStats
     from repro.bench.records import BenchRecord
     from repro.serve.scheduler import ServeReport
 
@@ -39,7 +43,12 @@ __all__ = [
 #: Version of the telemetry summary layout (stamped into every summary
 #: and into the ``BENCH_serve.json`` environment block).  Bump when the
 #: keys below change incompatibly.
-SERVE_SCHEMA_VERSION = 1
+#:
+#: v2 added the streaming-engine fields: ``lane_occupancy`` (per-slice
+#: occupancy of the in-flight batch) and ``refill`` (requests admitted
+#: into an already-running batch), and queue depth became sampled at
+#: dispatches/refills as well as arrivals.
+SERVE_SCHEMA_VERSION = 2
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -101,16 +110,38 @@ class TelemetrySink:
         self.queue_depths: List[int] = []
         self.batch_occupancy: Counter = Counter()
         self.num_batches = 0
+        self.slice_occupancy: List[float] = []
+        self.refill_admissions = 0
 
     # ------------------------------------------------------------------
     def record_queue_depth(self, depth: int) -> None:
-        """Sample the pending-queue depth (taken at each arrival)."""
+        """Sample the pending-queue depth.
+
+        Drivers sample at every arrival and at every dispatch or refill
+        admission, so requests admitted into an in-flight batch count as
+        dequeued the moment they leave the queue (not at batch
+        completion).
+        """
         self.queue_depths.append(int(depth))
 
     def record_batch(self, occupancy: int) -> None:
         """Record one dispatched batch of ``occupancy`` requests."""
         self.batch_occupancy[int(occupancy)] += 1
         self.num_batches += 1
+
+    def record_slice(self, stats: "SliceStats") -> None:
+        """Record one engine slice of an in-flight batch.
+
+        ``stats`` is the :class:`repro.api.SliceStats` the batch handle
+        returned from ``step()``; its :attr:`occupancy` (live lanes over
+        capacity at the start of the slice) is the sample that builds the
+        occupancy-over-time view.
+        """
+        self.slice_occupancy.append(float(stats.occupancy))
+
+    def record_refill(self, admitted: int) -> None:
+        """Record ``admitted`` requests joining an already-running batch."""
+        self.refill_admissions += int(admitted)
 
     def record_request(self, wait_ms: float, latency_ms: float) -> None:
         """Record one completed request's wait and end-to-end latency."""
@@ -122,10 +153,20 @@ class TelemetrySink:
     def num_requests(self) -> int:
         return len(self.latency_ms)
 
+    @property
+    def num_slices(self) -> int:
+        return len(self.slice_occupancy)
+
     def mean_occupancy(self) -> float:
         """Average number of requests per dispatched batch."""
         total = sum(size * count for size, count in self.batch_occupancy.items())
         return total / self.num_batches if self.num_batches else 0.0
+
+    def mean_lane_occupancy(self) -> float:
+        """Average fraction of lanes live over all recorded slices."""
+        if not self.slice_occupancy:
+            return 0.0
+        return sum(self.slice_occupancy) / len(self.slice_occupancy)
 
     def summary(self) -> Dict[str, object]:
         """The versioned telemetry summary (pure function of the samples)."""
@@ -137,6 +178,12 @@ class TelemetrySink:
             "batch_occupancy": {
                 str(size): count for size, count in sorted(self.batch_occupancy.items())
             },
+            "lane_occupancy": {
+                "slices": self.num_slices,
+                "mean": self.mean_lane_occupancy(),
+                "max": max(self.slice_occupancy, default=0.0),
+            },
+            "refill": {"admitted_inflight": self.refill_admissions},
             "queue_depth": {
                 "mean": (
                     sum(self.queue_depths) / len(self.queue_depths)
@@ -242,6 +289,7 @@ def serve_bench_record(
             baseline_policy=baseline,
             engine=sample.config.engine,
             timing=sample.config.timing,
+            refill=sample.config.resolved_refill(),
             serve=telemetry,
         ),
     )

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.align import preset
-from repro.api import Session, align_tasks, build_suite
+from repro.api import EngineOptions, Session, align_tasks, build_suite
 from repro.io.datasets import synthetic_reference
 from repro.kernels import AgathaKernel, KernelConfig
 from repro.pipeline.experiment import (
@@ -48,8 +48,68 @@ class TestAlignWorkloadShim:
     def test_batch_size_forwarded(self, task_batch):
         legacy, deps = _deprecations(align_workload, task_batch, batch_size=7)
         assert len(deps) == 1
-        fresh = align_tasks(task_batch, engine="batch", batch_size=7)
+        fresh = align_tasks(
+            task_batch, engine="batch", options=EngineOptions(batch_size=7)
+        )
         assert [r.score for r in legacy] == [r.score for r in fresh]
+
+
+class TestEngineOptionsShims:
+    """``batch_size=`` keywords now route through ``EngineOptions``."""
+
+    def test_align_tasks_batch_size_warns_once_and_matches(self, task_batch):
+        legacy, deps = _deprecations(
+            align_tasks, task_batch, engine="batch", batch_size=7
+        )
+        assert len(deps) == 1
+        assert "EngineOptions" in str(deps[0].message)
+        fresh = align_tasks(
+            task_batch, engine="batch", options=EngineOptions(batch_size=7)
+        )
+        assert legacy == fresh
+
+    def test_align_tasks_options_path_is_silent(self, task_batch):
+        _, deps = _deprecations(
+            align_tasks, task_batch, options=EngineOptions(batch_size=7)
+        )
+        assert deps == []
+
+    def test_align_tasks_conflict(self, task_batch):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="conflicting bucket sizes"):
+                align_tasks(
+                    task_batch,
+                    batch_size=7,
+                    options=EngineOptions(batch_size=8),
+                )
+
+    def test_session_batch_size_warns_once_and_forwards(self, task_batch):
+        session, deps = _deprecations(Session, tasks=task_batch, batch_size=17)
+        assert len(deps) == 1
+        assert "EngineOptions" in str(deps[0].message)
+        assert session.options.batch_size == 17
+        assert session.batch_size == 17  # compat mirror
+        fresh = Session(tasks=task_batch, options=EngineOptions(batch_size=17))
+        assert session.align() == fresh.align()
+
+    def test_session_conflict(self, task_batch):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="conflicting bucket sizes"):
+                Session(
+                    tasks=task_batch,
+                    batch_size=17,
+                    options=EngineOptions(batch_size=16),
+                )
+
+    def test_session_agreeing_sizes_are_fine(self, task_batch):
+        session, deps = _deprecations(
+            Session,
+            tasks=task_batch,
+            batch_size=17,
+            options=EngineOptions(batch_size=17),
+        )
+        assert len(deps) == 1
+        assert session.effective_batch_size() == 17
 
 
 class TestKernelSuiteShim:

@@ -63,6 +63,8 @@ class TestTelemetrySink:
             "batches",
             "mean_batch_occupancy",
             "batch_occupancy",
+            "lane_occupancy",
+            "refill",
             "queue_depth",
             "wait_ms",
             "latency_ms",
