@@ -1,0 +1,123 @@
+"""Cluster scale-out: sharded serving vs a single service.
+
+The acceptance study of the sharded cluster: one saturating Poisson
+trace is drained through :func:`repro.serve.cluster.cluster_replay` at
+1, 2 and 4 shards under *modeled* timing (so the study is deterministic
+and the virtual makespans measure pure serving capacity).  Four shards
+must deliver at least 2.5x single-shard throughput with a no-worse p99
+latency, every drain stays bit-identical to ``Session.align()``, and
+the run writes the gateable ``BENCH_serve_scale.json`` record that the
+CI perf-trajectory job compares against ``benchmarks/baseline.json``
+(suite ``serve_scale``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.align.scoring import preset
+from repro.align.sequence import mutate, random_sequence
+from repro.align.types import AlignmentTask
+from repro.api import Session
+from repro.serve import ClusterConfig, LoadGenerator, ServeConfig, cluster_replay, serve_bench_record
+
+from bench_utils import print_figure, save_record
+
+#: 4-shard vs single-shard throughput floor (ISSUE acceptance).
+MIN_SCALE_SPEEDUP = 2.5
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _scale_workload(count: int = 48, seed: int = 37):
+    rng = np.random.default_rng(seed)
+    scoring = preset("map-ont", band_width=16, zdrop=120)
+    tasks = []
+    for t in range(count):
+        ref = random_sequence(int(rng.integers(100, 260)), rng)
+        query = mutate(
+            ref, rng, substitution_rate=0.06, insertion_rate=0.02, deletion_rate=0.02
+        )
+        tasks.append(AlignmentTask(ref=ref, query=query, scoring=scoring, task_id=t))
+    return tasks
+
+
+@pytest.mark.benchmark(group="serve")
+def test_cluster_scale_out(benchmark, tmp_path):
+    """4 shards serve >= 2.5x single-shard throughput, p99 no worse."""
+    tasks = _scale_workload()
+    generator = LoadGenerator(tasks, name="serve-scale", seed=3)
+    # The offered rate dwarfs any single shard's capacity: the whole
+    # trace arrives within a few virtual milliseconds, every shard is
+    # queue-bound, and the makespan ratio measures serving capacity.
+    trace = generator.poisson(rate_rps=100_000.0, num_requests=256)
+    serve = ServeConfig(timing="modeled", max_batch_size=16, max_wait_ms=2.0)
+
+    def run():
+        return [
+            cluster_replay(trace, ClusterConfig(serve=serve, shards=shards))
+            for shards in SHARD_COUNTS
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Sharding changes placement, never arithmetic: every report is
+    # bit-identical to the offline engine on the same tasks.
+    direct = list(Session(tasks=list(trace.tasks), engine="batch").align())
+    for report in reports:
+        assert report.results() == direct
+
+    by_shards = {report.shards: report for report in reports}
+    record = serve_bench_record(
+        reports, baseline="shards1", figure="serve_scale"
+    )
+    save_record(record, tmp_path)
+    print_figure(
+        "Cluster scale-out: shard sweep (saturating Poisson trace, modeled)",
+        ["shards", "makespan_ms", "throughput_rps", "p99_latency_ms", "speedup"],
+        [
+            [
+                shards,
+                by_shards[shards].makespan_ms,
+                by_shards[shards].throughput_rps,
+                by_shards[shards].telemetry["latency_ms"]["p99_ms"],
+                by_shards[1].makespan_ms / by_shards[shards].makespan_ms,
+            ]
+            for shards in SHARD_COUNTS
+        ],
+    )
+
+    speedup = record.suites["serve_scale"].speedups["shards4"]["GeoMean"]
+    assert speedup >= MIN_SCALE_SPEEDUP, (
+        f"4-shard cluster only {speedup:.2f}x over a single shard; "
+        f"expected >= {MIN_SCALE_SPEEDUP}x under a saturating Poisson load"
+    )
+    p99_4 = by_shards[4].telemetry["latency_ms"]["p99_ms"]
+    p99_1 = by_shards[1].telemetry["latency_ms"]["p99_ms"]
+    assert p99_4 <= p99_1, (
+        f"scaling out worsened p99 latency: {p99_4:.3f}ms at 4 shards vs "
+        f"{p99_1:.3f}ms single-shard"
+    )
+    # Monotone scaling: each doubling helps (no shard is left idle by
+    # the router on this trace).
+    assert by_shards[2].makespan_ms < by_shards[1].makespan_ms
+    assert by_shards[4].makespan_ms < by_shards[2].makespan_ms
+
+
+@pytest.mark.benchmark(group="serve")
+def test_cluster_replay_determinism(benchmark):
+    """The scale study is bit-reproducible: same trace, same record."""
+    tasks = _scale_workload(count=24)
+    generator = LoadGenerator(tasks, name="serve-scale-det", seed=9)
+    trace = generator.poisson(rate_rps=50_000.0, num_requests=96)
+    config = ClusterConfig(
+        serve=ServeConfig(timing="modeled", max_batch_size=16, max_wait_ms=2.0),
+        shards=4,
+    )
+
+    def run():
+        return cluster_replay(trace, config), cluster_replay(trace, config)
+
+    first, second = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert first.makespan_ms == second.makespan_ms
+    assert first.telemetry == second.telemetry
+    assert first.scores() == second.scores()

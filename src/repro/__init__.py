@@ -91,6 +91,15 @@ _EXPORTS = {
     "RequestTrace": "repro.api",
     "replay": "repro.api",
     "serve_bench_record": "repro.api",
+    # sharded serving cluster
+    "ClusterConfig": "repro.api",
+    "ClusterReport": "repro.api",
+    "ClusterService": "repro.api",
+    "ShardRouter": "repro.api",
+    "ShardFailedError": "repro.api",
+    "cluster_replay": "repro.api",
+    "AdmissionController": "repro.api",
+    "RequestRejected": "repro.api",
     "engine_bench_record": "repro.api",
     # records (the run_figure return type)
     "BenchRecord": "repro.bench.records",
@@ -100,8 +109,12 @@ __all__ = ["__version__", *sorted(_EXPORTS)]
 
 if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
     from repro.api import (  # noqa: F401
+        AdmissionController,
         AlignmentOutcome,
         AlignmentService,
+        ClusterConfig,
+        ClusterReport,
+        ClusterService,
         ComparisonOutcome,
         CpuSummary,
         EngineOptions,
@@ -112,16 +125,20 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
         OneShotBatch,
         Registry,
         RegistryError,
+        RequestRejected,
         RequestTrace,
         ServeConfig,
         ServeReport,
         Session,
+        ShardFailedError,
+        ShardRouter,
         SimulationOutcome,
         SliceStats,
         SuiteEntry,
         SuiteSpec,
         align_tasks,
         build_suite,
+        cluster_replay,
         compare_suite,
         replay,
         serve_bench_record,

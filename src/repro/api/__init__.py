@@ -30,7 +30,12 @@ The online serving layer (:mod:`repro.serve`) is re-exported here too:
 :class:`ServeConfig` and :class:`AlignmentService` (reachable through
 :meth:`Session.serve`), the :class:`LoadGenerator`/:class:`RequestTrace`
 load-generation pair, and the :func:`replay` virtual-clock drain with
-its :func:`serve_bench_record` record builder.
+its :func:`serve_bench_record` record builder.  The sharded cluster
+rides along: :class:`ClusterConfig`/:class:`ClusterService` (reachable
+through ``Session.serve(shards=N)``), the deterministic
+:class:`ShardRouter`, :func:`cluster_replay`, and the bounded-admission
+pieces (:class:`AdmissionController`, :class:`RequestRejected`,
+:class:`ShardFailedError`).
 
 Everything exported here is covered by the public-API snapshot test
 (``tests/api/test_public_surface.py``) and the deprecation policy: old
@@ -84,9 +89,18 @@ from repro.api.session import Session
 # ``import repro.serve`` never races this package's initialisation).
 from repro.serve.config import ServeConfig
 from repro.serve.loadgen import LoadGenerator, RequestTrace
+from repro.serve.queueing import AdmissionController, RequestRejected
 from repro.serve.scheduler import ServeReport, replay
 from repro.serve.service import AlignmentService
 from repro.serve.telemetry import serve_bench_record
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    ClusterService,
+    ShardFailedError,
+    ShardRouter,
+    cluster_replay,
+)
 
 # Record builder for wall-clock engine studies (BENCH_sliced.json);
 # imported from the concrete submodule for the same reason as above.
@@ -134,6 +148,14 @@ __all__ = [
     "RequestTrace",
     "replay",
     "serve_bench_record",
+    "AdmissionController",
+    "RequestRejected",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterService",
+    "ShardFailedError",
+    "ShardRouter",
+    "cluster_replay",
     "engine_bench_record",
     # typed results
     "AlignmentOutcome",

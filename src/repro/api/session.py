@@ -62,6 +62,7 @@ from repro.pipeline.experiment import DEFAULT_HARDWARE_SCALE, scaled_hardware
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bench.records import BenchRecord
     from repro.pipeline.mapper import LongReadMapper, ReadMapping
+    from repro.serve.cluster import ClusterConfig, ClusterService
     from repro.serve.config import ServeConfig
     from repro.serve.service import AlignmentService
 
@@ -384,8 +385,13 @@ class Session:
     # serving
     # ------------------------------------------------------------------
     def serve(
-        self, config: Optional["ServeConfig"] = None, **overrides: Any
-    ) -> "AlignmentService":
+        self,
+        config: Optional["ServeConfig"] = None,
+        *,
+        shards: Optional[int] = None,
+        cluster: Optional["ClusterConfig"] = None,
+        **overrides: Any,
+    ) -> "Union[AlignmentService, ClusterService]":
         """An online micro-batching service bound to this session's engine.
 
         Without arguments the service inherits the session's engine and
@@ -399,12 +405,32 @@ class Session:
             with session.serve(max_wait_ms=2.0) as svc:
                 future = svc.submit(task)
 
+        ``shards=N`` scales the service out to N worker processes and
+        returns a :class:`~repro.serve.cluster.ClusterService` instead
+        (same submit/map/context-manager surface); pass ``cluster=``
+        for full control over routing and admission::
+
+            with session.serve(shards=4) as svc:
+                scores = [r.score for r in svc.map(tasks)]
+
         Served results are bit-identical to :meth:`align` on the same
-        tasks; batching changes scheduling, never arithmetic.
+        tasks; batching and sharding change scheduling, never
+        arithmetic.
         """
+        from repro.serve.cluster import ClusterConfig, ClusterService
         from repro.serve.config import ServeConfig
         from repro.serve.service import AlignmentService
 
+        if cluster is not None and config is not None:
+            raise ValueError("pass either config= or cluster=, not both")
+        if cluster is not None:
+            if shards is not None and shards != cluster.shards:
+                raise ValueError(
+                    f"shards={shards} conflicts with cluster.shards={cluster.shards}"
+                )
+            if overrides:
+                cluster = cluster.replace(serve=cluster.serve.replace(**overrides))
+            return ClusterService(cluster)
         if config is None:
             config = ServeConfig(
                 engine=self.engine,
@@ -413,6 +439,8 @@ class Session:
             )
         if overrides:
             config = config.replace(**overrides)
+        if shards is not None and shards != 1:
+            return ClusterService(ClusterConfig(serve=config, shards=shards))
         return AlignmentService(config)
 
     # ------------------------------------------------------------------

@@ -27,14 +27,29 @@ Three entry points, one policy:
     writes a versioned ``BENCH_serve.json`` record that
     ``python -m repro.bench compare`` can gate.
 
+The single service scales out through :mod:`repro.serve.cluster`: a
+:class:`ShardRouter` places requests deterministically across N worker
+processes (:class:`ClusterService`), bounded admission backpressure
+lives in :class:`AdmissionController`, and :func:`cluster_replay` is the
+virtual-clock counterpart whose results stay bit-identical to
+``Session.align`` for any trace and shard count.
+
 Served scores are bit-identical to :meth:`repro.api.Session.align` on
 the same tasks -- batching changes *when* work happens, never *what* is
 computed (``tests/serve/test_service.py`` pins this).
 """
 
 from repro.serve.config import ServeConfig
-from repro.serve.queueing import MicroBatcher, ServeRequest
+from repro.serve.queueing import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    AdmissionDecision,
+    MicroBatcher,
+    RequestRejected,
+    ServeRequest,
+)
 from repro.serve.telemetry import (
+    ADMISSION_OUTCOMES,
     SERVE_SCHEMA_VERSION,
     LatencySummary,
     TelemetrySink,
@@ -43,12 +58,27 @@ from repro.serve.telemetry import (
 from repro.serve.loadgen import LoadGenerator, RequestTrace
 from repro.serve.scheduler import ServeReport, modeled_service_ms, replay
 from repro.serve.service import AlignmentService
+from repro.serve.cluster import (
+    ROUTE_POLICIES,
+    ClusterConfig,
+    ClusterReport,
+    ClusterService,
+    ShardFailedError,
+    ShardRouter,
+    cluster_replay,
+)
 
 __all__ = [
+    "ADMISSION_OUTCOMES",
+    "ADMISSION_POLICIES",
+    "ROUTE_POLICIES",
     "SERVE_SCHEMA_VERSION",
     "ServeConfig",
     "ServeRequest",
     "MicroBatcher",
+    "AdmissionController",
+    "AdmissionDecision",
+    "RequestRejected",
     "LatencySummary",
     "TelemetrySink",
     "serve_bench_record",
@@ -58,4 +88,10 @@ __all__ = [
     "modeled_service_ms",
     "replay",
     "AlignmentService",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterService",
+    "ShardFailedError",
+    "ShardRouter",
+    "cluster_replay",
 ]

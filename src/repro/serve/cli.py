@@ -11,6 +11,12 @@ gated the same way figure speedups are::
 
     python -m repro.serve --dataset ONT-HG002 --output BENCH_serve.json
     python -m repro.bench compare benchmarks/serve_baseline.json BENCH_serve.json
+
+``--shards N`` drains the trace through the sharded cluster instead
+(:func:`repro.serve.cluster.cluster_replay`): requests are partitioned
+by the deterministic shard router, the anchor drain is the same trace
+through one service, and the printed speedup quantifies what scaling
+out buys.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.io.datasets import DATASET_REGISTRY
+from repro.serve.cluster import ROUTE_POLICIES, ClusterConfig, ClusterReport, cluster_replay
 from repro.serve.config import REFILL_MODES, TIMING_MODES, ServeConfig
 from repro.serve.loadgen import LoadGenerator, RequestTrace
 from repro.serve.scheduler import ServeReport, replay
@@ -147,6 +154,21 @@ def _parser() -> argparse.ArgumentParser:
         help="parallel batch executors in the queueing model (default: 1)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="drain through an N-shard cluster replay; the anchor is the "
+        "same trace through a single service (default: 1 = no cluster)",
+    )
+    parser.add_argument(
+        "--router",
+        default="hash",
+        choices=ROUTE_POLICIES,
+        help="cluster routing policy: hash spreads by request id, length "
+        "co-locates similar sweep lengths (default: hash)",
+    )
+    parser.add_argument(
         "--fifo",
         action="store_true",
         help="disable length-aware batch formation (plain FIFO batches)",
@@ -195,7 +217,7 @@ def _make_trace(generator: LoadGenerator, args: argparse.Namespace) -> RequestTr
     return generator.replay(args.rate, args.requests)
 
 
-def _format_report(report: ServeReport) -> List[str]:
+def _format_report(report: "ServeReport | ClusterReport") -> List[str]:
     latency = report.telemetry["latency_ms"]
     wait = report.telemetry["wait_ms"]
     lanes = report.telemetry["lane_occupancy"]
@@ -206,7 +228,7 @@ def _format_report(report: ServeReport) -> List[str]:
         f"  mean lane occupancy   : {lanes['mean']:.2f} over {lanes['slices']} "
         f"slices ({refill['admitted_inflight']} refill admissions)"
     )
-    return [
+    lines = [
         f"[{report.policy}]",
         f"  requests / batches    : {report.num_requests} / {report.telemetry['batches']}",
         f"  mean batch occupancy  : {report.telemetry['mean_batch_occupancy']:.2f}",
@@ -217,6 +239,14 @@ def _format_report(report: ServeReport) -> List[str]:
         f"{latency['p50_ms']:.2f} / {latency['p95_ms']:.2f} / {latency['p99_ms']:.2f} ms",
         f"  max queueing wait     : {wait['max_ms']:.2f} ms",
     ]
+    shards = report.telemetry.get("shards") if isinstance(report.telemetry, dict) else None
+    if shards:
+        per_shard = ", ".join(
+            f"{index}:{summary['requests']}"
+            for index, summary in sorted(shards.items(), key=lambda kv: int(kv[0]))
+        )
+        lines.append(f"  requests per shard    : {per_shard}")
+    return lines
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -230,8 +260,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             use_cache=not args.no_cache,
         )
         trace = _make_trace(generator, args)
-        from repro.api.engines import EngineOptions
+        from repro.api.engines import EngineOptions, supports_streaming
 
+        refill = args.refill
+        if refill == "continuous" and not supports_streaming(args.engine):
+            print(
+                f"warning: engine {args.engine!r} cannot refill continuously "
+                "(supports_streaming() is False for it); falling back to "
+                "--refill drain",
+                file=sys.stderr,
+            )
+            refill = "drain"
+        if args.shards < 1:
+            raise ValueError("--shards must be >= 1")
         config = ServeConfig(
             engine=args.engine,
             max_batch_size=args.max_batch,
@@ -242,7 +283,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             options=EngineOptions(
                 batch_size=args.batch_size, slice_width=args.slice_width
             ),
-            refill=args.refill,
+            refill=refill,
         )
         if not args.quiet:
             print(
@@ -250,14 +291,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"({trace.process} arrivals, ~{trace.offered_rate_rps:.0f} req/s offered)",
                 file=sys.stderr,
             )
-        reports = [replay(trace, config, policy=config.policy_name)]
-        baseline = config.policy_name
-        # An anchor drain only makes sense when the main drain actually
-        # micro-batches; with --max-batch 1 the main drain IS the anchor.
-        if not args.no_baseline and config.max_batch_size > 1:
-            anchor_config = config.replace(max_batch_size=1)
-            reports.append(replay(trace, anchor_config, policy="batch1"))
-            baseline = "batch1"
+        reports: List["ServeReport | ClusterReport"]
+        if args.shards > 1:
+            cluster = ClusterConfig(
+                serve=config, shards=args.shards, router=args.router
+            )
+            reports = [cluster_replay(trace, cluster)]
+            baseline = reports[0].policy
+            # The natural anchor for a cluster is the same trace through
+            # one service: the speedup is what scaling out buys.
+            if not args.no_baseline:
+                reports.append(replay(trace, config, policy=config.policy_name))
+                baseline = config.policy_name
+        else:
+            reports = [replay(trace, config, policy=config.policy_name)]
+            baseline = config.policy_name
+            # An anchor drain only makes sense when the main drain actually
+            # micro-batches; with --max-batch 1 the main drain IS the anchor.
+            if not args.no_baseline and config.max_batch_size > 1:
+                anchor_config = config.replace(max_batch_size=1)
+                reports.append(replay(trace, anchor_config, policy="batch1"))
+                baseline = "batch1"
         record = serve_bench_record(reports, baseline=baseline)
         path = record.save(args.output or record.default_filename)
         if not args.quiet:
@@ -266,7 +320,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if len(reports) == 2:
                 main_policy = reports[0].policy
                 speedup = record.suites["serve"].speedups[main_policy]["GeoMean"]
-                print(f"{main_policy} speedup: {speedup:.2f}x over batch-size-1")
+                anchor = "batch-size-1" if baseline == "batch1" else baseline
+                print(f"{main_policy} speedup: {speedup:.2f}x over {anchor}")
         print(f"wrote {path}")
         return 0
     except (KeyError, ValueError, FileNotFoundError) as exc:

@@ -1,0 +1,945 @@
+"""Sharded multi-process serving: route, admit, serve, survive crashes.
+
+One :class:`~repro.serve.service.AlignmentService` is GIL-bound: however
+fast the engine, a single scheduler thread caps the whole stack.  This
+module scales the serving layer *horizontally*, the way the paper scales
+lanes across more hardware (fig15): N worker **processes**, each running
+its own service with streaming refill, behind a deterministic
+:class:`ShardRouter` front-end.
+
+The pieces, and where the determinism lives:
+
+:class:`ShardRouter`
+    A pure routing function ``(task, request_id) -> shard``: ``"hash"``
+    mixes the request id through CRC32 (uniform spread), ``"length"``
+    groups by anti-diagonal count (co-locating similar sweep lengths,
+    the cluster mirror of length-aware batch formation).  The *same*
+    function partitions a replay trace and routes live submissions, so
+    the virtual-clock study and the live cluster agree on placement.
+:func:`cluster_replay`
+    Deterministic cross-shard replay: the trace is partitioned by the
+    router, each partition drains through the ordinary
+    :func:`repro.serve.scheduler.replay` (arrival times unchanged --
+    shards share one clock), and the per-shard event streams merge into
+    one :class:`ClusterReport`.  Results are bit-identical to
+    :meth:`repro.api.Session.align` on the trace's tasks, makespan is
+    the slowest shard's makespan, and merged percentiles are computed on
+    the pooled raw samples (:meth:`TelemetrySink.merge`), never by
+    averaging per-shard percentiles.
+:class:`ClusterService`
+    The live counterpart: worker processes are spawned with the same
+    spawn-safe registry rebuilding :mod:`repro.bench.runner` uses for
+    suites (the engine's defining module travels by name and is
+    re-imported inside the worker), requests flow through per-shard
+    parent-side :class:`~repro.serve.queueing.MicroBatcher` queues under
+    an :class:`~repro.serve.queueing.AdmissionController` (bounded
+    admission: queue / reject / shed), and a credit window keeps each
+    worker's in-flight set bounded so queued work stays sheddable.  A
+    monitor thread per shard watches the worker process; on a crash the
+    stranded queue is pulled back through the existing
+    :meth:`MicroBatcher.preempt` hook and fanned out -- failed fast with
+    :class:`ShardFailedError`, or re-queued on surviving shards when
+    ``ClusterConfig(retry_failed=True)`` -- and the worker is restarted
+    (up to ``max_restarts``) for subsequent traffic.
+
+Telemetry is aggregated under ``SERVE_SCHEMA_VERSION`` 3: the merged
+summary carries cluster-wide p50/p95/p99, queue depth, lane occupancy
+and admission counters, plus a ``"shards"`` block with each shard's own
+summary (see :mod:`repro.serve.telemetry`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+import zlib
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.align.types import AlignmentResult, AlignmentTask
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import RequestTrace
+from repro.serve.queueing import (
+    AdmissionController,
+    MicroBatcher,
+    RequestRejected,
+    ServeRequest,
+)
+from repro.serve.scheduler import ServeReport, ServiceTime, replay
+from repro.serve.telemetry import TelemetrySink
+
+__all__ = [
+    "ROUTE_POLICIES",
+    "ShardRouter",
+    "ShardFailedError",
+    "ClusterConfig",
+    "ClusterReport",
+    "cluster_replay",
+    "ClusterService",
+]
+
+#: Routing policies of :class:`ShardRouter`: ``"hash"`` spreads requests
+#: uniformly by request id, ``"length"`` co-locates similar
+#: anti-diagonal counts so per-shard batches stay length-homogeneous.
+ROUTE_POLICIES = ("hash", "length")
+
+#: Exit code a worker uses for injected faults (:meth:`ClusterService.fail_shard`).
+_CRASH_EXIT_CODE = 70
+
+#: Control token that makes a worker die abruptly (chaos hook).
+_CRASH = "__crash__"
+
+
+class ShardFailedError(RuntimeError):
+    """A worker process died with requests still queued or in flight.
+
+    Carries the shard index and the worker's exit code so callers can
+    tell a crash (negative signal / nonzero code) from an injected fault
+    (``fail_shard``).  Raised from the stranded requests' futures -- and
+    from :meth:`ClusterService.submit` when every shard is down.
+    """
+
+    def __init__(self, shard: int, exitcode: Optional[int] = None) -> None:
+        detail = f" (exit code {exitcode})" if exitcode is not None else ""
+        super().__init__(f"serving shard {shard} failed{detail}")
+        self.shard = shard
+        self.exitcode = exitcode
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardRouter:
+    """Deterministic request-to-shard placement (pure, processless).
+
+    ``"hash"`` routes by CRC32 of the request id -- uniform and
+    history-free, the classic front-end spread.  ``"length"`` routes by
+    ``task.num_antidiagonals // length_stride``, so tasks with similar
+    sweep lengths land on the same shard and its batches stay cheap to
+    pad -- the cluster-level mirror of the batcher's length-aware
+    formation.  Both are pure functions of ``(task, request_id)``:
+    :func:`cluster_replay` partitions traces with the same object the
+    live :class:`ClusterService` routes with, which is what makes
+    cluster replays deterministic.
+    """
+
+    shards: int
+    policy: str = "hash"
+    length_stride: int = 128
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.policy not in ROUTE_POLICIES:
+            raise ValueError(
+                f"router policy must be one of {ROUTE_POLICIES}, got {self.policy!r}"
+            )
+        if self.length_stride <= 0:
+            raise ValueError("length_stride must be positive")
+
+    def route(self, task: AlignmentTask, request_id: int) -> int:
+        """The shard index serving ``request_id`` carrying ``task``."""
+        if self.policy == "hash":
+            key = zlib.crc32(int(request_id).to_bytes(8, "little"))
+        else:  # "length"
+            key = task.num_antidiagonals // self.length_stride
+        return int(key) % self.shards
+
+    def partition(self, tasks: Sequence[AlignmentTask]) -> List[List[int]]:
+        """Per-shard lists of trace indices (submission order preserved)."""
+        shards: List[List[int]] = [[] for _ in range(self.shards)]
+        for index, task in enumerate(tasks):
+            shards[self.route(task, index)].append(index)
+        return shards
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Policy of one sharded serving cluster.
+
+    Parameters
+    ----------
+    serve:
+        The per-shard :class:`ServeConfig` -- every worker process runs
+        an ordinary :class:`AlignmentService` under this configuration
+        (engine, refill mode, micro-batching knobs all apply per shard).
+    shards:
+        Number of worker processes (>= 1).
+    router, length_stride:
+        Routing policy (see :class:`ShardRouter`).
+    max_pending, admission, class_limits:
+        Bounded admission per shard (see
+        :class:`~repro.serve.queueing.AdmissionController`): the pending
+        budget counts queued plus in-flight requests of one shard, and
+        ``admission`` picks the overload policy (``"queue"`` blocks the
+        submitter, ``"reject"`` raises
+        :class:`~repro.serve.queueing.RequestRejected`, ``"shed"``
+        evicts queued lower-priority work).  Admission is a live-service
+        concern: :func:`cluster_replay` serves every request of a trace
+        (which is what keeps replays bit-identical to ``Session.align``).
+    max_inflight:
+        Credit window: how many dispatched-but-uncompleted requests one
+        worker may hold (``None`` = twice the serve batch size).  Work
+        beyond the window stays in the parent-side queue, where it is
+        still sheddable and preemptable.
+    retry_failed:
+        When a worker crashes, re-queue its stranded requests on the
+        surviving shards instead of failing their futures with
+        :class:`ShardFailedError`.
+    max_restarts:
+        How many times each crashed worker is replaced (for traffic
+        arriving *after* the crash; stranded requests are never silently
+        replayed on the replacement -- that is what ``retry_failed``
+        controls).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+        Anything but ``"fork"`` requires the engine to live in an
+        importable module, exactly like :mod:`repro.bench.runner`'s
+        spawn-safe suite rule.
+    """
+
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    shards: int = 2
+    router: str = "hash"
+    length_stride: int = 128
+    max_pending: Optional[int] = None
+    admission: str = "queue"
+    class_limits: Mapping[int, int] = field(default_factory=dict)
+    max_inflight: Optional[int] = None
+    retry_failed: bool = False
+    max_restarts: int = 1
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(
+                "start_method must be None, 'fork', 'spawn' or 'forkserver', "
+                f"got {self.start_method!r}"
+            )
+        # Validate eagerly by constructing the pure policy objects.
+        self.router_for()
+        self.admission_controller()
+
+    def router_for(self) -> ShardRouter:
+        """The routing function replay and the live cluster share."""
+        return ShardRouter(
+            shards=self.shards, policy=self.router, length_stride=self.length_stride
+        )
+
+    def admission_controller(self) -> AdmissionController:
+        """The per-shard bounded-admission policy."""
+        return AdmissionController(
+            max_pending=self.max_pending,
+            policy=self.admission,
+            class_limits=dict(self.class_limits),
+        )
+
+    def replace(self, **changes: Any) -> "ClusterConfig":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def policy_name(self) -> str:
+        """Default record label (``"shards4"`` for a 4-shard cluster)."""
+        return f"shards{self.shards}"
+
+
+# ----------------------------------------------------------------------
+# deterministic cross-shard replay
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterReport:
+    """Merged outcome of one cluster drain (duck-types ServeReport).
+
+    ``requests`` are in global submission order with request ids
+    re-stamped to trace indices, so :meth:`results` lines up with
+    ``Session.align`` on the same tasks.  ``telemetry`` is the merged
+    schema-v3 summary: pooled samples at the top level plus a
+    ``"shards"`` block of per-shard summaries.
+    """
+
+    policy: str
+    workload: str
+    cluster: ClusterConfig
+    shard_reports: Tuple[ServeReport, ...]
+    requests: Tuple[ServeRequest, ...]
+    makespan_ms: float
+    telemetry: Dict[str, object]
+
+    @property
+    def config(self) -> ServeConfig:
+        """The per-shard serve configuration (record-builder surface)."""
+        return self.cluster.serve
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_reports)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of virtual drain time."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.num_requests / self.makespan_ms * 1000.0
+
+    def results(self) -> List[AlignmentResult]:
+        """Alignment results in submission (trace) order."""
+        out: List[AlignmentResult] = []
+        for request in self.requests:
+            if request.result is None:
+                raise ValueError(f"request {request.request_id} has no result")
+            out.append(request.result)
+        return out
+
+    def scores(self) -> List[int]:
+        return [result.score for result in self.results()]
+
+
+def cluster_replay(
+    trace: RequestTrace,
+    config: Optional[ClusterConfig] = None,
+    *,
+    policy: Optional[str] = None,
+    service_time: Optional[ServiceTime] = None,
+) -> ClusterReport:
+    """Drain ``trace`` across ``config.shards`` virtual shards.
+
+    The trace is partitioned by the cluster's :class:`ShardRouter`
+    (arrival times unchanged -- every shard reads the same clock), each
+    partition drains through the ordinary single-service
+    :func:`~repro.serve.scheduler.replay`, and the event streams merge:
+    makespan is the slowest shard's makespan, requests return to global
+    submission order, and telemetry sinks merge sample-exactly.  With
+    ``timing="modeled"`` the whole cluster drain is a pure function of
+    (trace, config) -- and results are bit-identical to
+    ``Session.align`` for any trace and shard count, because each shard
+    runs the same engine arithmetic on its subset.
+    """
+    config = config or ClusterConfig()
+    router = config.router_for()
+    partitions = router.partition(trace.tasks)
+
+    parent_sink = TelemetrySink()
+    parent_sink.record_admission("admitted", len(trace))
+
+    shard_reports: List[ServeReport] = []
+    shard_sinks: List[TelemetrySink] = []
+    merged_requests: List[Optional[ServeRequest]] = [None] * len(trace)
+    for indices in partitions:
+        subtrace = RequestTrace(
+            name=trace.name,
+            process=trace.process,
+            tasks=tuple(trace.tasks[i] for i in indices),
+            arrivals_ms=tuple(trace.arrivals_ms[i] for i in indices),
+        )
+        sink = TelemetrySink()
+        report = replay(
+            subtrace, config.serve, service_time=service_time, sink=sink
+        )
+        shard_reports.append(report)
+        shard_sinks.append(sink)
+        for request, global_index in zip(report.requests, indices):
+            # Re-stamp the shard-local id with the trace index so the
+            # merged report is self-consistent in global order.
+            request.request_id = global_index
+            merged_requests[global_index] = request
+
+    merged = parent_sink
+    for sink in shard_sinks:
+        merged.merge(sink)
+    telemetry: Dict[str, object] = merged.summary()
+    telemetry["shards"] = {
+        str(index): report.telemetry for index, report in enumerate(shard_reports)
+    }
+    requests = tuple(r for r in merged_requests if r is not None)
+    assert len(requests) == len(trace)
+    return ClusterReport(
+        policy=policy if policy is not None else config.policy_name,
+        workload=trace.name,
+        cluster=config,
+        shard_reports=tuple(shard_reports),
+        requests=requests,
+        makespan_ms=max(
+            (report.makespan_ms for report in shard_reports), default=0.0
+        ),
+        telemetry=telemetry,
+    )
+
+
+# ----------------------------------------------------------------------
+# spawn-safe engine rebuilding (the bench/runner.py pattern)
+# ----------------------------------------------------------------------
+def _engine_origin(engine: str) -> Optional[str]:
+    """The module that registered ``engine`` (None when undiscoverable)."""
+    from repro.api.engines import ENGINES
+
+    entry = ENGINES.get(engine)
+    return getattr(entry, "__module__", None)
+
+
+def _ensure_engine_shardable(engine: str, origin: Optional[str], method: str) -> None:
+    """Fail fast on engines a spawned worker could never rebuild.
+
+    Mirrors :func:`repro.bench.runner._ensure_suites_shardable`: under
+    ``fork`` children inherit the registry, so anything goes; under
+    ``spawn``/``forkserver`` the worker re-imports the engine's defining
+    module by name, which is impossible for ``__main__`` registrations.
+    """
+    if method == "fork":
+        return
+    if origin is None or origin == "__main__":
+        raise ValueError(
+            f"engine {engine!r} was registered in {origin or 'an unknown module'} "
+            f"and cannot be rebuilt in a {method!r}-started worker process; "
+            "move the register_engine(...) call into an importable module "
+            "(or use start_method='fork')"
+        )
+
+
+def _resolve_engine(engine: str, origin: Optional[str]) -> None:
+    """Inside a worker: make ``engine`` resolvable, importing its origin.
+
+    The retry mirrors :func:`repro.bench.runner._build_cell_suite`: a
+    spawned interpreter starts with only the built-in registrations, so
+    a miss triggers one import of the engine's defining module (which
+    re-runs its ``register_engine`` call) before giving up.
+    """
+    from repro.api.engines import get_engine
+
+    try:
+        get_engine(engine)
+        return
+    except KeyError:
+        if not origin or origin == "__main__":
+            raise
+    import_module(origin)
+    get_engine(engine)
+
+
+def _report_result(
+    result_queue: Any, shard: int, request_id: int, future: "Future[AlignmentResult]"
+) -> None:
+    """Worker-side future callback: ship one outcome to the parent."""
+    exc = future.exception()
+    try:
+        if exc is not None:
+            result_queue.put(("error", shard, request_id, exc))
+        else:
+            result_queue.put(("result", shard, request_id, future.result()))
+    except Exception as send_error:  # unpicklable payload: degrade, don't strand
+        result_queue.put(
+            ("error", shard, request_id, RuntimeError(repr(exc or send_error)))
+        )
+
+
+def _shard_worker(
+    shard: int,
+    config: ServeConfig,
+    engine_origin: Optional[str],
+    task_queue: Any,
+    result_queue: Any,
+) -> None:
+    """Worker-process main: one AlignmentService fed from a task queue.
+
+    Messages are ``(request_id, task, priority)`` tuples, a ``None``
+    sentinel (drain and exit cleanly), or the crash token (die abruptly
+    -- the chaos hook behind :meth:`ClusterService.fail_shard`).  On a
+    clean exit the worker ships its telemetry sink state home, then an
+    ``("exit", shard)`` marker the parent uses to distinguish shutdown
+    from death.
+    """
+    from repro.serve.service import AlignmentService
+
+    _resolve_engine(config.engine, engine_origin)
+    service = AlignmentService(config)
+    service.start()
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        if item == _CRASH:
+            os._exit(_CRASH_EXIT_CODE)
+        request_id, task, _priority = item
+        future = service.submit(task)
+        future.add_done_callback(
+            lambda f, rid=request_id: _report_result(result_queue, shard, rid, f)
+        )
+    service.shutdown(wait=True)
+    result_queue.put(("telemetry", shard, service.telemetry.state()))
+    result_queue.put(("exit", shard))
+
+
+# ----------------------------------------------------------------------
+# the live cluster
+# ----------------------------------------------------------------------
+class _Shard:
+    """Parent-side bookkeeping of one worker process."""
+
+    def __init__(self, index: int, batcher: MicroBatcher) -> None:
+        self.index = index
+        self.batcher = batcher  # queued, not yet sent to the worker
+        self.inflight: Dict[int, ServeRequest] = {}  # sent, not yet completed
+        self.futures: Dict[int, "Future[AlignmentResult]"] = {}
+        self.process: Any = None
+        self.task_queue: Any = None
+        self.failed = False
+        self.exited = False  # clean worker exit observed
+        self.restarts = 0
+
+    @property
+    def pending(self) -> int:
+        """Queued + in-flight requests charged against admission budgets."""
+        return len(self.batcher) + len(self.inflight)
+
+
+class ClusterService:
+    """Live sharded alignment service over worker processes.
+
+    The usage mirrors :class:`AlignmentService`::
+
+        config = ClusterConfig(shards=4, serve=ServeConfig(engine="batch-sliced"))
+        with ClusterService(config) as cluster:
+            futures = [cluster.submit(task) for task in tasks]
+            scores = [f.result().score for f in futures]
+
+    ``submit`` routes through the cluster's :class:`ShardRouter`, applies
+    the bounded-admission policy (possibly blocking, rejecting, or
+    shedding queued lower-priority work), and parks the request in the
+    target shard's parent-side :class:`MicroBatcher`.  A per-shard
+    dispatcher thread forwards queued requests to the worker while its
+    in-flight window has room (so queued work stays sheddable and
+    preemptable), a single collector thread fans results back to
+    futures, and a monitor thread per shard turns worker death into
+    :class:`ShardFailedError` fan-out / retry / restart.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self._router = self.config.router_for()
+        self._admission = self.config.admission_controller()
+        import multiprocessing
+
+        self._ctx = multiprocessing.get_context(self.config.start_method)
+        self._engine_origin: Optional[str] = None
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        serve = self.config.serve
+        self._shards = [
+            _Shard(
+                index,
+                MicroBatcher(
+                    serve.max_batch_size,
+                    serve.max_wait_ms,
+                    length_aware=serve.length_aware,
+                ),
+            )
+            for index in range(self.config.shards)
+        ]
+        #: Per-worker in-flight credit: enough to keep a worker's own
+        #: batcher busy, small enough that overload stays parent-side
+        #: (where it can be shed / preempted / counted).
+        self._window = (
+            self.config.max_inflight
+            if self.config.max_inflight is not None
+            else max(2 * serve.max_batch_size, 2)
+        )
+        self._result_queue: Any = None
+        self._dispatchers: List[threading.Thread] = []
+        self._monitors: List[threading.Thread] = []
+        self._collector: Optional[threading.Thread] = None
+        self._next_id = 0
+        self._epoch = time.monotonic()
+        self._started = False
+        self._stopping = False
+        self._closed = False
+        self.telemetry = TelemetrySink()
+        self._shard_sink_states: Dict[int, Mapping[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _now_ms(self) -> float:
+        return (time.monotonic() - self._epoch) * 1000.0
+
+    def start(self) -> "ClusterService":
+        """Spawn the workers and service threads (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster has been shut down")
+            if self._started:
+                return self
+            self._started = True
+        engine = self.config.serve.engine
+        origin = _engine_origin(engine)
+        _ensure_engine_shardable(engine, origin, self._ctx.get_start_method())
+        self._engine_origin = origin
+        self._result_queue = self._ctx.Queue()
+        # Processes first, threads second: forking after our own service
+        # threads exist is the classic fork-with-threads trap.
+        for shard in self._shards:
+            self._spawn_worker(shard)
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-cluster-collector", daemon=True
+        )
+        self._collector.start()
+        for shard in self._shards:
+            dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                args=(shard,),
+                name=f"repro-cluster-dispatch-{shard.index}",
+                daemon=True,
+            )
+            dispatcher.start()
+            self._dispatchers.append(dispatcher)
+            monitor = threading.Thread(
+                target=self._monitor_loop,
+                args=(shard,),
+                name=f"repro-cluster-monitor-{shard.index}",
+                daemon=True,
+            )
+            monitor.start()
+            self._monitors.append(monitor)
+        return self
+
+    def _spawn_worker(self, shard: _Shard) -> None:
+        """Create (or replace) the worker process of one shard."""
+        shard.task_queue = self._ctx.Queue()
+        shard.process = self._ctx.Process(
+            target=_shard_worker,
+            args=(
+                shard.index,
+                self.config.serve,
+                self._engine_origin,
+                shard.task_queue,
+                self._result_queue,
+            ),
+            name=f"repro-serve-shard-{shard.index}",
+            daemon=True,
+        )
+        shard.process.start()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain every queued request, stop workers and threads.
+
+        Queued requests are flushed to their workers, each worker drains
+        its own service before exiting (no request is ever dropped by a
+        clean shutdown), and any future left unresolved by a worker that
+        died mid-shutdown fails with :class:`ShardFailedError`.
+        """
+        with self._wakeup:
+            self._stopping = True
+            self._closed = True
+            started = self._started
+            self._wakeup.notify_all()
+        if not started:
+            return
+        for dispatcher in self._dispatchers:
+            dispatcher.join()
+        for shard in self._shards:
+            if shard.process is not None:
+                shard.process.join()
+        for monitor in self._monitors:
+            monitor.join()
+        # Workers flush their queues before exiting, so by now every
+        # result/telemetry/exit message is buffered; the sentinel lands
+        # behind them and the collector drains in order.
+        self._result_queue.put(("stop",))
+        if self._collector is not None:
+            self._collector.join()
+        leftovers: List[Tuple[int, "Future[AlignmentResult]"]] = []
+        with self._lock:
+            for shard in self._shards:
+                for request_id, future in shard.futures.items():
+                    leftovers.append((shard.index, future))
+                shard.futures.clear()
+                shard.inflight.clear()
+        for index, future in leftovers:
+            if not future.done():
+                future.set_exception(ShardFailedError(index))
+
+    def __enter__(self) -> "ClusterService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def alive_shards(self) -> List[int]:
+        """Indices of shards whose worker process is currently healthy."""
+        with self._lock:
+            return [
+                shard.index
+                for shard in self._shards
+                if not shard.failed
+                and shard.process is not None
+                and shard.process.is_alive()
+            ]
+
+    def fail_shard(self, shard: int) -> None:
+        """Chaos hook: make one worker die abruptly (``os._exit``).
+
+        The worker processes everything already queued to it, then dies
+        without draining its service -- exactly the stranding a real
+        crash produces, but deterministically placed.  Tests use this to
+        pin the crash-robustness contract.
+        """
+        with self._lock:
+            target = self._shards[shard]
+            if target.task_queue is None:
+                raise RuntimeError("cluster is not started")
+            target.task_queue.put(_CRASH)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def _target_shard(self, task: AlignmentTask, request_id: int) -> _Shard:
+        """The routed shard, skipping permanently failed ones (lock held)."""
+        first = self._router.route(task, request_id)
+        for offset in range(len(self._shards)):
+            shard = self._shards[(first + offset) % len(self._shards)]
+            if not shard.failed:
+                return shard
+        raise ShardFailedError(first)
+
+    def submit(
+        self, task: AlignmentTask, *, priority: int = 0
+    ) -> "Future[AlignmentResult]":
+        """Route and enqueue one task; may block, reject, or shed.
+
+        Under ``admission="queue"`` with a full shard this call *blocks*
+        until space frees -- that is the explicit backpressure.  Under
+        ``"reject"`` it raises :class:`RequestRejected`; under
+        ``"shed"`` it may evict a queued strictly-lower-priority request
+        (whose future then raises :class:`RequestRejected`).
+        """
+        self.start()
+        shed_futures: List["Future[AlignmentResult]"] = []
+        with self._wakeup:
+            while True:
+                if self._stopping:
+                    raise RuntimeError("cluster is shutting down")
+                request = ServeRequest(
+                    task=task,
+                    request_id=self._next_id,
+                    arrival_ms=self._now_ms(),
+                    priority=priority,
+                )
+                shard = self._target_shard(task, request.request_id)
+                decision = self._admission.decide(
+                    request, shard.batcher.pending, tuple(shard.inflight.values())
+                )
+                if decision.action != "wait":
+                    break
+                self._wakeup.wait()
+            if decision.action == "reject":
+                self.telemetry.record_admission("rejected")
+                raise RequestRejected(
+                    f"shard {shard.index} is at its admission limit "
+                    f"({self._admission.max_pending} pending; "
+                    f"policy={self._admission.policy!r})"
+                )
+            if decision.action == "shed":
+                victims = set(map(id, decision.victims))
+                for victim in shard.batcher.preempt(lambda r: id(r) in victims):
+                    future = shard.futures.pop(victim.request_id, None)
+                    if future is not None:
+                        shed_futures.append(future)
+                    self.telemetry.record_admission("shed")
+            self._next_id += 1
+            result_future: "Future[AlignmentResult]" = Future()
+            shard.batcher.add(request)
+            shard.futures[request.request_id] = result_future
+            self.telemetry.record_admission("admitted")
+            self.telemetry.record_queue_depth(
+                sum(len(s.batcher) for s in self._shards)
+            )
+            self._wakeup.notify_all()
+        for future in shed_futures:  # user callbacks run outside the lock
+            future.set_exception(
+                RequestRejected("request shed to admit higher-priority work")
+            )
+        return result_future
+
+    def map(self, tasks: Sequence[AlignmentTask]) -> List[AlignmentResult]:
+        """Submit every task and gather results in submission order."""
+        futures = [self.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # service threads
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self, shard: _Shard) -> None:
+        """Forward queued requests to the worker while credit remains."""
+        while True:
+            with self._wakeup:
+                while True:
+                    if self._stopping:
+                        # Flush everything still queued (workers drain on
+                        # the sentinel), then hand off and exit.
+                        taken = shard.batcher.take(len(shard.batcher), self._now_ms())
+                        break
+                    if shard.failed:
+                        self._wakeup.wait()
+                        continue
+                    budget = self._window - len(shard.inflight)
+                    if len(shard.batcher) and budget > 0:
+                        taken = shard.batcher.take(budget, self._now_ms())
+                        break
+                    self._wakeup.wait()
+                for request in taken:
+                    shard.inflight[request.request_id] = request
+                if taken:
+                    self.telemetry.record_queue_depth(
+                        sum(len(s.batcher) for s in self._shards)
+                    )
+                stopping = self._stopping
+                queue = shard.task_queue
+            for request in taken:
+                queue.put((request.request_id, request.task, request.priority))
+            if stopping:
+                queue.put(None)
+                return
+
+    def _collect_loop(self) -> None:
+        """Fan worker messages back to futures and telemetry."""
+        while True:
+            message = self._result_queue.get()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "telemetry":
+                _, index, state = message
+                with self._lock:
+                    self._shard_sink_states[index] = state
+                continue
+            if kind == "exit":
+                _, index = message
+                with self._wakeup:
+                    self._shards[index].exited = True
+                    self._wakeup.notify_all()
+                continue
+            _, index, request_id, payload = message
+            completion = self._now_ms()
+            with self._wakeup:
+                shard = self._shards[index]
+                request = shard.inflight.pop(request_id, None)
+                future = shard.futures.pop(request_id, None)
+                if kind == "result" and request is not None:
+                    request.result = payload
+                    request.completion_ms = completion
+                self._wakeup.notify_all()
+            if future is not None and not future.done():
+                if kind == "result":
+                    future.set_result(payload)
+                else:
+                    future.set_exception(payload)
+
+    def _monitor_loop(self, shard: _Shard) -> None:
+        """Health check: join the worker, handle death, maybe restart."""
+        while True:
+            process = shard.process
+            process.join()
+            to_fail: List[Tuple["Future[AlignmentResult]", BaseException]] = []
+            with self._wakeup:
+                if self._stopping or shard.exited:
+                    return
+                shard.failed = True
+                exitcode = process.exitcode
+                # Stranded work: everything still queued (pulled back
+                # through the preempt hook) plus everything in flight.
+                stranded = list(shard.inflight.values())
+                shard.inflight.clear()
+                stranded += shard.batcher.preempt(lambda request: True)
+                stranded.sort(key=lambda request: request.request_id)
+                survivors = [
+                    s for s in self._shards if s is not shard and not s.failed
+                ]
+                if self.config.retry_failed and survivors and stranded:
+                    for offset, request in enumerate(stranded):
+                        target = survivors[offset % len(survivors)]
+                        target.batcher.add(request)
+                        future = shard.futures.pop(request.request_id, None)
+                        if future is not None:
+                            target.futures[request.request_id] = future
+                    self.telemetry.record_admission("retried", len(stranded))
+                else:
+                    error = ShardFailedError(shard.index, exitcode=exitcode)
+                    for request in stranded:
+                        future = shard.futures.pop(request.request_id, None)
+                        if future is not None:
+                            to_fail.append((future, error))
+                restart = shard.restarts < self.config.max_restarts
+                if restart:
+                    shard.restarts += 1
+                self._wakeup.notify_all()
+            for future, error in to_fail:  # callbacks outside the lock
+                if not future.done():
+                    future.set_exception(error)
+            if not restart:
+                return
+            self._spawn_worker(shard)
+            with self._wakeup:
+                shard.failed = False
+                if self._stopping:
+                    # Shutdown raced the restart: the dispatcher already
+                    # sent its sentinel to the dead worker's queue, so
+                    # drain the replacement directly or join() hangs.
+                    shard.task_queue.put(None)
+                self._wakeup.notify_all()
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def telemetry_summary(self) -> Dict[str, object]:
+        """Merged schema-v3 summary: pooled samples + per-shard block.
+
+        Worker sinks arrive at clean worker exit, so the per-shard block
+        is complete after :meth:`shutdown`; before that it covers the
+        shards that have already exited.  Latency percentiles pool the
+        workers' per-request samples (service-side latency); admission
+        counters and cluster queue depth come from the front-end.
+        """
+        with self._lock:
+            merged = TelemetrySink.from_state(self.telemetry.state())
+            states = dict(self._shard_sink_states)
+        shards_block: Dict[str, object] = {}
+        for index in sorted(states):
+            sink = TelemetrySink.from_state(states[index])
+            shards_block[str(index)] = sink.summary()
+            merged.merge(sink)
+        summary: Dict[str, object] = merged.summary()
+        summary["shards"] = shards_block
+        return summary
+
+
+# Re-exported by repro.serve; keep Callable referenced for typing tools.
+_ServiceTime = Callable[[Sequence[AlignmentTask]], float]

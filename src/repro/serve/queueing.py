@@ -31,17 +31,44 @@ re-prioritise, reject under overload, or hand to another server).
 Because the policy object never touches clocks, threads or engines, the
 replay and the live service form *identical* batches for identical
 arrival sequences.
+
+The sharded cluster (:mod:`repro.serve.cluster`) adds a fourth question
+-- **whether** a request is admitted at all.  :class:`AdmissionController`
+is the bounded-admission policy: a per-shard pending budget
+(``max_pending``, counted over queued *and* in-flight requests) plus
+optional per-priority-class limits, resolved under one of three overload
+policies -- ``"queue"`` (block the submitter: explicit backpressure),
+``"reject"`` (fail the arrival with :class:`RequestRejected`), or
+``"shed"`` (evict the youngest strictly-lower-priority queued request to
+make room).  Like the batcher it is pure -- no clocks, no locks -- so
+the same decisions are unit-testable and deterministic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.align.types import AlignmentResult, AlignmentTask
 from repro.core.uneven_bucketing import length_bucket_order
 
-__all__ = ["ServeRequest", "MicroBatcher"]
+__all__ = [
+    "ServeRequest",
+    "MicroBatcher",
+    "ADMISSION_POLICIES",
+    "AdmissionDecision",
+    "AdmissionController",
+    "RequestRejected",
+]
+
+#: Overload policies of :class:`AdmissionController`: ``"queue"`` blocks
+#: the submitter until space frees (backpressure), ``"reject"`` refuses
+#: the arrival, ``"shed"`` evicts queued lower-priority work to admit it.
+ADMISSION_POLICIES = ("queue", "reject", "shed")
+
+
+class RequestRejected(RuntimeError):
+    """An arrival was refused (or a queued request shed) under overload."""
 
 
 @dataclass(eq=False)
@@ -231,3 +258,123 @@ class MicroBatcher:
                 request for request in self._pending if id(request) not in kept
             ]
         return taken
+
+
+# ----------------------------------------------------------------------
+# bounded admission
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``action`` is ``"accept"``, ``"reject"``, ``"wait"`` (backpressure:
+    the caller should block until space frees and re-decide) or
+    ``"shed"`` (accept the arrival after evicting ``victims`` -- queued
+    requests of strictly lower priority -- from the queue, e.g. via
+    :meth:`MicroBatcher.preempt`).
+    """
+
+    action: str
+    victims: Tuple[ServeRequest, ...] = ()
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the arrival enters the queue (accept or shed)."""
+        return self.action in ("accept", "shed")
+
+
+@dataclass(frozen=True)
+class AdmissionController:
+    """Pure bounded-admission policy (reject / queue / shed).
+
+    Parameters
+    ----------
+    max_pending:
+        Per-queue budget counted over queued *and* in-flight requests
+        (``None`` = unbounded).  In-flight work cannot be revoked, so
+        only queued requests are ever shed.
+    policy:
+        What happens to an arrival that would exceed a limit -- one of
+        :data:`ADMISSION_POLICIES`.
+    class_limits:
+        Optional per-priority-class budgets: ``{priority: limit}``.  A
+        class at its limit rejects further arrivals of that class
+        regardless of policy -- shedding can only evict *strictly lower*
+        priority work, which never frees a slot of the arrival's own
+        class, and queueing behind one's own class would invert the
+        priority order.
+
+    The controller is a frozen dataclass of plain values: deciding twice
+    over the same queue snapshot yields the same decision, which is what
+    lets the cluster replay and the live cluster agree.
+    """
+
+    max_pending: Optional[int] = None
+    policy: str = "queue"
+    class_limits: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"policy must be one of {ADMISSION_POLICIES}, got {self.policy!r}"
+            )
+        if self.max_pending is not None and self.max_pending <= 0:
+            raise ValueError("max_pending must be positive when given")
+        for priority, limit in self.class_limits.items():
+            if limit <= 0:
+                raise ValueError(
+                    f"class limit for priority {priority} must be positive, got {limit}"
+                )
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any limit is configured at all."""
+        return self.max_pending is not None or bool(self.class_limits)
+
+    def decide(
+        self,
+        request: ServeRequest,
+        queued: Sequence[ServeRequest],
+        inflight: Sequence[ServeRequest] = (),
+    ) -> AdmissionDecision:
+        """Decide ``request``'s fate against the current queue snapshot.
+
+        ``queued`` are the sheddable pending requests (oldest first, the
+        :attr:`MicroBatcher.pending` snapshot); ``inflight`` the
+        dispatched-but-incomplete ones, which count against the budgets
+        but can never be victims.
+        """
+        class_limit = self.class_limits.get(request.priority)
+        if class_limit is not None:
+            in_class = sum(
+                1
+                for other in (*queued, *inflight)
+                if other.priority == request.priority
+            )
+            if in_class >= class_limit:
+                # A class at its own limit cannot be shed around (see the
+                # class docstring), and waiting behind one's own class
+                # would invert priority order -- so this is always a
+                # rejection, even under policy="queue"/"shed".
+                return AdmissionDecision(action="reject")
+        if self.max_pending is None:
+            return AdmissionDecision(action="accept")
+        total = len(queued) + len(inflight)
+        if total < self.max_pending:
+            return AdmissionDecision(action="accept")
+        if self.policy == "reject":
+            return AdmissionDecision(action="reject")
+        if self.policy == "queue":
+            return AdmissionDecision(action="wait")
+        # policy == "shed": evict the lowest-priority, youngest queued
+        # request -- but only if it is *strictly* below the arrival
+        # (shedding a peer to admit a peer gains nothing).
+        victim: Optional[ServeRequest] = None
+        for candidate in queued:  # oldest first; later = younger wins ties
+            if candidate.priority >= request.priority:
+                continue
+            if victim is None or candidate.priority <= victim.priority:
+                victim = candidate
+        if victim is None:
+            return AdmissionDecision(action="reject")
+        return AdmissionDecision(action="shed", victims=(victim,))

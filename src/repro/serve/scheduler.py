@@ -159,6 +159,7 @@ def replay(
     *,
     policy: Optional[str] = None,
     service_time: Optional[ServiceTime] = None,
+    sink: Optional[TelemetrySink] = None,
 ) -> ServeReport:
     """Drain ``trace`` through the service policy on a virtual clock.
 
@@ -166,14 +167,21 @@ def replay(
     (tests use constants); it is called per batch under drain-then-form
     and per slice (with the tasks live during that slice) under
     continuous refill.  Otherwise ``config.timing`` picks measured or
-    modeled durations.  Results are bit-identical to scoring the trace's
-    tasks directly with the configured engine -- neither batching nor
-    refill ever changes the arithmetic.
+    modeled durations.  ``sink`` lets a caller keep the raw telemetry
+    samples (:func:`repro.serve.cluster.cluster_replay` passes one per
+    shard and merges them); the report's ``telemetry`` summary is taken
+    from it either way.  Results are bit-identical to scoring the
+    trace's tasks directly with the configured engine -- neither
+    batching nor refill ever changes the arithmetic.
     """
     config = config or ServeConfig()
     if config.resolved_refill() == "continuous":
-        return _replay_continuous(trace, config, policy=policy, service_time=service_time)
-    return _replay_drain(trace, config, policy=policy, service_time=service_time)
+        return _replay_continuous(
+            trace, config, policy=policy, service_time=service_time, sink=sink
+        )
+    return _replay_drain(
+        trace, config, policy=policy, service_time=service_time, sink=sink
+    )
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +193,7 @@ def _replay_drain(
     *,
     policy: Optional[str],
     service_time: Optional[ServiceTime],
+    sink: Optional[TelemetrySink] = None,
 ) -> ServeReport:
     from repro.api.engines import open_batch
 
@@ -195,7 +204,7 @@ def _replay_drain(
         config.max_batch_size, config.max_wait_ms, length_aware=config.length_aware
     )
     workers = [0.0] * config.workers
-    sink = TelemetrySink()
+    sink = sink if sink is not None else TelemetrySink()
     now = 0.0
     makespan_end = 0.0
 
@@ -289,6 +298,7 @@ def _replay_continuous(
     *,
     policy: Optional[str],
     service_time: Optional[ServiceTime],
+    sink: Optional[TelemetrySink] = None,
 ) -> ServeReport:
     """One streaming handle, refilled at every slice boundary.
 
@@ -316,7 +326,7 @@ def _replay_continuous(
     batcher = MicroBatcher(
         config.max_batch_size, config.max_wait_ms, length_aware=config.length_aware
     )
-    sink = TelemetrySink()
+    sink = sink if sink is not None else TelemetrySink()
     inflight: Dict[int, ServeRequest] = {}
     now = 0.0
     makespan_end = 0.0

@@ -6,10 +6,15 @@ admission, so requests admitted into an in-flight batch count as
 dequeued), batch occupancy (one sample per dispatched batch), per-slice
 lane occupancy (one sample per engine slice, the occupancy-over-time
 view of continuous refill), in-flight refill admissions, and per-request
-wait / end-to-end latency -- and renders them as a versioned summary
-dict (``SERVE_SCHEMA_VERSION``).  Percentiles use the nearest-rank
-definition on sorted samples, so a summary is a pure function of the
-sample multiset: deterministic replays produce bit-identical telemetry.
+wait / end-to-end latency -- plus the bounded-admission outcome counters
+(``ADMISSION_OUTCOMES``) the sharded cluster feeds -- and renders them
+as a versioned summary dict (``SERVE_SCHEMA_VERSION``).  Percentiles use
+the nearest-rank definition on sorted samples, so a summary is a pure
+function of the sample multiset: deterministic replays produce
+bit-identical telemetry.  Sinks serialise (:meth:`TelemetrySink.state`)
+and merge (:meth:`TelemetrySink.merge`) by pooling raw samples, which is
+how cross-shard percentiles stay exact instead of being averages of
+per-shard percentiles.
 
 :func:`serve_bench_record` folds one or more
 :class:`~repro.serve.scheduler.ServeReport` objects into the same
@@ -25,7 +30,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.align.streaming import SliceStats
@@ -34,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "SERVE_SCHEMA_VERSION",
+    "ADMISSION_OUTCOMES",
     "percentile",
     "LatencySummary",
     "TelemetrySink",
@@ -48,7 +54,23 @@ __all__ = [
 #: occupancy of the in-flight batch) and ``refill`` (requests admitted
 #: into an already-running batch), and queue depth became sampled at
 #: dispatches/refills as well as arrivals.
-SERVE_SCHEMA_VERSION = 2
+#:
+#: v3 added the sharded-cluster fields: every summary carries
+#: ``admission`` counters (``admitted`` / ``rejected`` / ``shed`` /
+#: ``retried`` -- the bounded-admission outcomes of
+#: :class:`repro.serve.queueing.AdmissionController`), and cluster-level
+#: summaries add a ``"shards"`` block mapping each shard index to its own
+#: per-shard summary while the top-level percentiles are recomputed from
+#: the pooled raw samples (sinks merge via :meth:`TelemetrySink.merge`,
+#: never by averaging percentiles).
+SERVE_SCHEMA_VERSION = 3
+
+#: Admission outcomes a sink counts (see ``AdmissionController``):
+#: ``admitted`` requests entered a queue, ``rejected`` ones were refused
+#: with backpressure, ``shed`` ones were evicted from a queue to make
+#: room for higher-priority work, and ``retried`` ones were re-queued on
+#: a surviving shard after a worker crash.
+ADMISSION_OUTCOMES = ("admitted", "rejected", "shed", "retried")
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -112,6 +134,7 @@ class TelemetrySink:
         self.num_batches = 0
         self.slice_occupancy: List[float] = []
         self.refill_admissions = 0
+        self.admission: Dict[str, int] = {outcome: 0 for outcome in ADMISSION_OUTCOMES}
 
     # ------------------------------------------------------------------
     def record_queue_depth(self, depth: int) -> None:
@@ -147,6 +170,76 @@ class TelemetrySink:
         """Record one completed request's wait and end-to-end latency."""
         self.wait_ms.append(float(wait_ms))
         self.latency_ms.append(float(latency_ms))
+
+    def record_admission(self, outcome: str, count: int = 1) -> None:
+        """Count one bounded-admission outcome (see ``ADMISSION_OUTCOMES``)."""
+        if outcome not in self.admission:
+            raise ValueError(
+                f"unknown admission outcome {outcome!r}; "
+                f"expected one of {ADMISSION_OUTCOMES}"
+            )
+        self.admission[outcome] += int(count)
+
+    # ------------------------------------------------------------------
+    # cross-process state transfer + merging (the sharded cluster ships
+    # each worker's sink home and pools the raw samples, so merged
+    # percentiles are computed on the union -- never averaged)
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """Plain-JSON snapshot of the raw samples (picklable, mergeable)."""
+        return {
+            "wait_ms": list(self.wait_ms),
+            "latency_ms": list(self.latency_ms),
+            "queue_depths": list(self.queue_depths),
+            "batch_occupancy": {
+                str(size): count for size, count in sorted(self.batch_occupancy.items())
+            },
+            "num_batches": self.num_batches,
+            "slice_occupancy": list(self.slice_occupancy),
+            "refill_admissions": self.refill_admissions,
+            "admission": dict(self.admission),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "TelemetrySink":
+        """Rebuild a sink from :meth:`state` (inverse, sample-exact)."""
+        sink = cls()
+        sink.wait_ms = [float(v) for v in state.get("wait_ms", [])]  # type: ignore[union-attr]
+        sink.latency_ms = [float(v) for v in state.get("latency_ms", [])]  # type: ignore[union-attr]
+        sink.queue_depths = [int(v) for v in state.get("queue_depths", [])]  # type: ignore[union-attr]
+        occupancy = state.get("batch_occupancy", {})
+        assert isinstance(occupancy, Mapping)
+        sink.batch_occupancy = Counter(
+            {int(size): int(count) for size, count in occupancy.items()}
+        )
+        sink.num_batches = int(state.get("num_batches", 0))  # type: ignore[arg-type]
+        sink.slice_occupancy = [
+            float(v) for v in state.get("slice_occupancy", [])  # type: ignore[union-attr]
+        ]
+        sink.refill_admissions = int(state.get("refill_admissions", 0))  # type: ignore[arg-type]
+        admission = state.get("admission", {})
+        assert isinstance(admission, Mapping)
+        for outcome, count in admission.items():
+            sink.record_admission(str(outcome), int(count))
+        return sink
+
+    def merge(self, other: "TelemetrySink") -> "TelemetrySink":
+        """Fold ``other``'s raw samples into this sink (returns ``self``).
+
+        Sample lists concatenate and counters add, so a merged summary is
+        exactly the summary of the pooled sample multiset -- the p99 of a
+        cluster is the p99 over *all* requests, not a mean of shard p99s.
+        """
+        self.wait_ms.extend(other.wait_ms)
+        self.latency_ms.extend(other.latency_ms)
+        self.queue_depths.extend(other.queue_depths)
+        self.batch_occupancy.update(other.batch_occupancy)
+        self.num_batches += other.num_batches
+        self.slice_occupancy.extend(other.slice_occupancy)
+        self.refill_admissions += other.refill_admissions
+        for outcome, count in other.admission.items():
+            self.admission[outcome] = self.admission.get(outcome, 0) + count
+        return self
 
     # ------------------------------------------------------------------
     @property
@@ -184,6 +277,7 @@ class TelemetrySink:
                 "max": max(self.slice_occupancy, default=0.0),
             },
             "refill": {"admitted_inflight": self.refill_admissions},
+            "admission": dict(self.admission),
             "queue_depth": {
                 "mean": (
                     sum(self.queue_depths) / len(self.queue_depths)
@@ -205,16 +299,21 @@ def serve_bench_record(
     *,
     baseline: str = "batch1",
     figure: str = "serve",
+    suite: Optional[str] = None,
 ) -> "BenchRecord":
     """Fold serve reports into one gateable :class:`BenchRecord`.
 
     Every report contributes one (workload x policy) cell under a single
-    ``"serve"`` suite; ``time_ms`` is the drain makespan and
+    suite (named after ``figure`` unless ``suite`` overrides it -- the
+    default study writes suite ``"serve"``, the cluster scale-out study
+    suite ``"serve_scale"``); ``time_ms`` is the drain makespan and
     ``speedup_vs_cpu`` the throughput ratio against the ``baseline``
     policy on the same workload (the baseline itself anchors at 1.0, and
     its makespan fills ``cpu_time_ms`` -- the anchor slot of the record
     schema).  Telemetry summaries ride in the environment block under
-    ``"serve"``.
+    ``"serve"``.  ``reports`` may mix :class:`ServeReport` and
+    :class:`repro.serve.cluster.ClusterReport` objects -- both expose the
+    same policy/workload/makespan/telemetry surface.
     """
     # Imported lazily: repro.bench's package __init__ reaches repro.api,
     # which re-exports this module -- a module-level import would race
@@ -253,7 +352,8 @@ def serve_bench_record(
 
     from repro.pipeline.experiment import geometric_mean
 
-    suite = SuiteRecord(suite="serve")
+    suite_name = suite if suite is not None else figure
+    suite_record = SuiteRecord(suite=suite_name)
     telemetry: Dict[str, Dict[str, object]] = {}
     for policy in policies:
         row: Dict[str, float] = {}
@@ -266,7 +366,7 @@ def serve_bench_record(
                 anchor.makespan_ms / report.makespan_ms if report.makespan_ms > 0 else 0.0
             )
             row[workload] = speedup
-            suite.cells.append(
+            suite_record.cells.append(
                 CellRecord(
                     dataset=workload,
                     kernel=policy,
@@ -276,14 +376,14 @@ def serve_bench_record(
             )
             telemetry.setdefault(policy, {})[workload] = report.telemetry
         row["GeoMean"] = geometric_mean(list(row.values()))
-        suite.speedups[policy] = row
+        suite_record.speedups[policy] = row
     for workload in workloads:
-        suite.cpu_time_ms[workload] = anchors[workload].makespan_ms
+        suite_record.cpu_time_ms[workload] = anchors[workload].makespan_ms
     sample = reports[0]
     return BenchRecord(
         figure=figure,
         datasets=list(workloads),
-        suites={"serve": suite},
+        suites={suite_name: suite_record},
         environment=environment_metadata(
             serve_schema_version=SERVE_SCHEMA_VERSION,
             baseline_policy=baseline,

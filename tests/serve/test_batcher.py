@@ -1,6 +1,8 @@
 """Micro-batch formation policy: cut conditions and member selection."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serve import MicroBatcher, ServeRequest
 
@@ -106,6 +108,57 @@ class TestBatchSelection:
         for request in batch:
             assert request.dispatch_ms == 42.5
             assert request.batch_occupancy == 3
+
+
+class TestTake:
+    def test_take_zero_limit_returns_empty(self):
+        """``take(limit=0)`` on a non-empty queue is a no-op, not a crash."""
+        batcher = MicroBatcher(4, 1.0)
+        for request in _requests(make_serve_tasks(count=3)):
+            batcher.add(request)
+        assert batcher.take(0, now_ms=0.0) == []
+        assert batcher.take(-2, now_ms=0.0) == []
+        assert len(batcher) == 3  # nothing was consumed
+
+    @given(
+        priorities=st.lists(st.integers(min_value=-2, max_value=2), min_size=1, max_size=12),
+        limit=st.integers(min_value=1, max_value=14),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_take_is_priority_then_fifo(self, priorities, limit):
+        """The taken *set* is the top-``limit`` by (priority desc, arrival
+        asc); equal-priority ties always resolve to the older request."""
+        tasks = make_serve_tasks(count=len(priorities))
+        batcher = MicroBatcher(4, 1.0)
+        requests = []
+        for index, (task, priority) in enumerate(zip(tasks, priorities)):
+            request = ServeRequest(
+                task=task, request_id=index, arrival_ms=float(index), priority=priority
+            )
+            requests.append(request)
+            batcher.add(request)
+        taken = batcher.take(limit, now_ms=99.0)
+        expected = sorted(requests, key=lambda r: (-r.priority, r.request_id))[:limit]
+        assert {r.request_id for r in taken} == {r.request_id for r in expected}
+        # Returned in arrival order; the leftovers keep arrival order too.
+        assert [r.request_id for r in taken] == sorted(r.request_id for r in taken)
+        leftover = [r.request_id for r in batcher.pending]
+        assert leftover == sorted(leftover)
+        assert all(r.dispatch_ms == 99.0 for r in taken)
+
+    @given(
+        count=st.integers(min_value=1, max_value=10),
+        limit=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_equal_priority_take_is_plain_fifo(self, count, limit):
+        """With one priority class, ``take`` degenerates to the FIFO prefix."""
+        batcher = MicroBatcher(4, 1.0)
+        requests = _requests(make_serve_tasks(count=count))
+        for request in requests:
+            batcher.add(request)
+        taken = batcher.take(limit, now_ms=0.0)
+        assert taken == requests[: min(limit, count)]
 
 
 class TestServeRequest:

@@ -31,7 +31,7 @@ class TestServeCli:
         assert record.figure == "serve"
         assert set(record.suites["serve"].speedups) == {"microbatch", "batch1"}
         assert record.suites["serve"].speedups["batch1"]["ONT-HG002"] == 1.0
-        assert record.environment["serve_schema_version"] == 2
+        assert record.environment["serve_schema_version"] == 3
 
     def test_record_gates_through_bench_compare(self, tmp_path, capsys):
         """The acceptance wiring: python -m repro.bench compare accepts

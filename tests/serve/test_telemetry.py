@@ -65,6 +65,7 @@ class TestTelemetrySink:
             "batch_occupancy",
             "lane_occupancy",
             "refill",
+            "admission",
             "queue_depth",
             "wait_ms",
             "latency_ms",
