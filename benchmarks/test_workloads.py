@@ -1,0 +1,70 @@
+"""Registered workloads under the AGAThA kernel (BENCH_workloads.json).
+
+The workload-subsystem acceptance study: every workload registered by
+:mod:`repro.workloads` -- the packaged real-FASTA pair, the three
+adversarial length distributions and the protein-style BLOSUM62-scored
+set -- is run through the sharded figure runner exactly as
+``python -m repro.bench --figure workloads`` would, and the resulting
+``BENCH_workloads.json`` is written for the perf-trajectory gate
+(``python -m repro.bench compare --suites workloads``).
+
+Beyond the record, the run asserts the properties that make the figure
+meaningful: every registered workload appears as a dataset row, the
+kernel beats the CPU anchor on each of them, and the batch-scale CIGAR
+path replays bit-identically against the scalar traceback oracle on a
+real-data workload.
+"""
+
+import pytest
+
+from repro.align.traceback import traceback_align
+from repro.api import Session
+from repro.bench.runner import run_figure
+from repro.workloads import workload_names
+
+from bench_utils import print_figure, save_record
+
+
+@pytest.mark.benchmark(group="workloads")
+def test_workloads_figure(benchmark, hardware, tmp_path):
+    """All registered workloads run under AGAThA; record is gateable."""
+    device, cpu = hardware
+
+    record = benchmark.pedantic(
+        lambda: run_figure("workloads", workers=1, device=device, cpu=cpu),
+        rounds=1,
+        iterations=1,
+    )
+
+    names = list(workload_names())
+    assert record.datasets == names
+    suite = record.suites["workloads"]
+    assert {cell.kernel for cell in suite.cells} == {"AGAThA"}
+    assert {cell.dataset for cell in suite.cells} == set(names)
+    row = suite.speedups["AGAThA"]
+    for name in names:
+        assert row[name] > 1.0, f"AGAThA slower than CPU on workload {name}"
+
+    save_record(record, tmp_path)
+
+    headers = ["kernel"] + names + ["GeoMean"]
+    rows = [["AGAThA"] + [row[name] for name in names] + [row["GeoMean"]]]
+    print_figure("Registered workloads: AGAThA speedup over CPU", headers, rows)
+
+
+@pytest.mark.benchmark(group="workloads")
+def test_workload_cigars_match_oracle(benchmark):
+    """Batch CIGAR emission on the real-data workload matches the oracle."""
+    session = Session(dataset="fasta-sample")
+
+    outcome = benchmark.pedantic(
+        lambda: session.align(cigars=True), rounds=1, iterations=1
+    )
+
+    assert outcome.cigars is not None
+    tasks = session.workload()
+    assert len(outcome.cigars) == len(tasks)
+    for task, tb in zip(tasks, outcome.cigars):
+        oracle = traceback_align(task.ref, task.query, task.scoring)
+        assert tb == oracle
+        assert tb.result.score == oracle.result.score

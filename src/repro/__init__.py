@@ -37,6 +37,10 @@ Subpackages
 ``repro.pipeline``
     The end-to-end long-read mapper and the experiment harness used by
     the benchmarks.
+``repro.workloads``
+    The workload registry: real FASTA-backed data, adversarial synthetic
+    length distributions, and protein-style scoring workloads, all
+    resolvable by name wherever a dataset name is accepted.
 ``repro.bench``
     Sharded benchmark runner, persistent workload cache, BENCH records.
 ``repro.analysis``
@@ -101,6 +105,16 @@ _EXPORTS = {
     "AdmissionController": "repro.api",
     "RequestRejected": "repro.api",
     "engine_bench_record": "repro.api",
+    # workload registry (real FASTA data, adversarial synthetic,
+    # protein-style scoring; see docs/WORKLOADS.md)
+    "WorkloadSpec": "repro.workloads",
+    "WORKLOADS": "repro.workloads",
+    "register_workload": "repro.workloads",
+    "get_workload": "repro.workloads",
+    "workload_names": "repro.workloads",
+    "resolve_spec": "repro.workloads",
+    "FastaWorkloadSpec": "repro.workloads",
+    "AdversarialWorkloadSpec": "repro.workloads",
     # records (the run_figure return type)
     "BenchRecord": "repro.bench.records",
 }
@@ -157,6 +171,16 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
         supports_streaming,
     )
     from repro.bench.records import BenchRecord  # noqa: F401
+    from repro.workloads import (  # noqa: F401
+        WORKLOADS,
+        AdversarialWorkloadSpec,
+        FastaWorkloadSpec,
+        WorkloadSpec,
+        get_workload,
+        register_workload,
+        resolve_spec,
+        workload_names,
+    )
 
 
 def __getattr__(name: str) -> Any:

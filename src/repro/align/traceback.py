@@ -27,15 +27,16 @@ Python dispatch; only intended for example-sized sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.align.banding import BandGeometry
 from repro.align.scoring import ScoringScheme
 from repro.align.termination import NEG_INF, make_termination
-from repro.align.types import AlignmentResult
+from repro.align.types import AlignmentResult, AlignmentTask
 
-__all__ = ["Cigar", "TracebackResult", "traceback_align"]
+__all__ = ["Cigar", "TracebackResult", "traceback_align", "batch_traceback"]
 
 
 @dataclass(frozen=True)
@@ -307,3 +308,42 @@ def traceback_align(
         query_start=0,
         query_end=result.max_j + 1,
     )
+
+
+def batch_traceback(
+    tasks: Sequence[AlignmentTask],
+    results: Optional[Sequence[AlignmentResult]] = None,
+) -> List[TracebackResult]:
+    """Reconstruct CIGARs for a whole scored workload, in task order.
+
+    This is the CIGAR-emission companion to the score-only engines: the
+    batch engines race through a workload computing scores, then the few
+    alignments the caller actually wants rendered are replayed here one
+    at a time through the band-limited traceback (the Minimap2 split the
+    module docstring describes, at batch scale).
+
+    When ``results`` -- the engine's outputs for the same ``tasks``, in
+    task order -- is given, every replay is checked against the engine
+    result field by field (score, best cell, termination flag, work
+    counters).  Any divergence raises ``ValueError`` naming the task,
+    because it would mean the traceback DP and the score-only engines
+    disagree -- exactly the bug class the engine-equivalence suite
+    exists to rule out.  Callers that only want CIGARs may omit
+    ``results`` and skip the cross-check.
+    """
+    if results is not None and len(results) != len(tasks):
+        raise ValueError(
+            f"results length {len(results)} does not match "
+            f"{len(tasks)} tasks"
+        )
+    out: List[TracebackResult] = []
+    for index, task in enumerate(tasks):
+        tb = traceback_align(task.ref, task.query, task.scoring)
+        if results is not None and tb.result != results[index]:
+            raise ValueError(
+                f"traceback replay of task {index} "
+                f"(task_id={task.task_id}) diverged from the engine "
+                f"result: traceback={tb.result} engine={results[index]}"
+            )
+        out.append(tb)
+    return out

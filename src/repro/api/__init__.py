@@ -106,6 +106,30 @@ from repro.serve.cluster import (
 # imported from the concrete submodule for the same reason as above.
 from repro.bench.records import engine_bench_record
 
+#: Workload-registry names re-exported lazily: the workloads package
+#: imports this package's registry machinery, so an eager import here
+#: would be a cycle.  Attribute access triggers the one-time import
+#: (which also registers the built-in workloads).
+_WORKLOAD_EXPORTS = (
+    "WorkloadSpec",
+    "WORKLOADS",
+    "register_workload",
+    "get_workload",
+    "workload_names",
+    "resolve_spec",
+    "FastaWorkloadSpec",
+    "AdversarialWorkloadSpec",
+)
+
+
+def __getattr__(name: str):
+    if name in _WORKLOAD_EXPORTS:
+        import repro.workloads as _workloads
+
+        return getattr(_workloads, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     # façade
     "Session",
@@ -157,6 +181,15 @@ __all__ = [
     "ShardRouter",
     "cluster_replay",
     "engine_bench_record",
+    # workloads (lazily re-exported from repro.workloads)
+    "WorkloadSpec",
+    "WORKLOADS",
+    "register_workload",
+    "get_workload",
+    "workload_names",
+    "resolve_spec",
+    "FastaWorkloadSpec",
+    "AdversarialWorkloadSpec",
     # typed results
     "AlignmentOutcome",
     "MappingOutcome",

@@ -80,6 +80,7 @@ from repro.align.batch import (
     batch_align,
 )
 from repro.align.streaming import InFlightBatch, OneShotBatch, SliceStats
+from repro.align.traceback import TracebackResult, batch_traceback
 from repro.align.types import AlignmentResult, AlignmentTask
 from repro.api.registry import Registry
 
@@ -397,7 +398,8 @@ def align_tasks(
     engine: str = "batch",
     options: Optional[EngineOptions] = None,
     batch_size: Optional[int] = None,
-) -> List[AlignmentResult]:
+    cigars: bool = False,
+) -> List[AlignmentResult] | List[TracebackResult]:
     """Score a workload with a named engine.
 
     The core implementation behind :meth:`repro.api.Session.align` and
@@ -405,6 +407,15 @@ def align_tasks(
     Tuning knobs travel as a typed :class:`EngineOptions`; the legacy
     ``batch_size=`` keyword still works but emits one
     ``DeprecationWarning`` per call (bit-identical behaviour).
+
+    With ``cigars=True`` the scored tasks are additionally replayed
+    through the band-limited traceback
+    (:func:`repro.align.traceback.batch_traceback`) and the return value
+    becomes a list of :class:`~repro.align.traceback.TracebackResult`
+    whose ``.result`` fields are the engine's outputs, cross-checked
+    field by field against each replay.  The engine still does the
+    scoring -- the traceback only reconstructs paths -- so scores with
+    and without ``cigars`` are bit-identical for every engine.
 
     The built-in engines agree bit for bit, so swapping names never
     changes a score:
@@ -420,6 +431,8 @@ def align_tasks(
     [16]
     >>> [r.score for r in align_tasks([task], engine="batch-sliced")]
     [16]
+    >>> [tb.cigar.to_string() for tb in align_tasks([task], cigars=True)]
+    ['8=']
     """
     if batch_size is not None:
         warnings.warn(
@@ -438,4 +451,7 @@ def align_tasks(
     opts = options if options is not None else EngineOptions()
     fn = get_engine(engine)
     params = ENGINES.meta(engine).get("option_params", _DEFAULT_OPTION_PARAMS)
-    return fn(tasks, **opts.engine_kwargs(params))
+    results = fn(tasks, **opts.engine_kwargs(params))
+    if cigars:
+        return batch_traceback(tasks, results)
+    return results

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
+from repro.align.traceback import TracebackResult
 from repro.align.types import AlignmentResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -31,16 +32,37 @@ __all__ = [
 
 @dataclass(frozen=True)
 class AlignmentOutcome:
-    """A scored workload: which engine ran and what it produced."""
+    """A scored workload: which engine ran and what it produced.
+
+    ``cigars`` is populated only when the workload was scored with
+    ``cigars=True``: one band-limited traceback replay per task, in task
+    order, each cross-checked field by field against the engine result
+    (see :func:`repro.align.traceback.batch_traceback`).
+    """
 
     engine: str
     batch_size: int
     results: Tuple[AlignmentResult, ...]
+    cigars: Optional[Tuple[TracebackResult, ...]] = None
 
     @property
     def scores(self) -> List[int]:
         """Alignment scores in task order."""
         return [result.score for result in self.results]
+
+    @property
+    def cigar_strings(self) -> List[str]:
+        """Rendered CIGAR strings in task order.
+
+        Raises ``ValueError`` when the workload was scored without
+        ``cigars=True`` (scores exist, but no paths were reconstructed).
+        """
+        if self.cigars is None:
+            raise ValueError(
+                "no CIGARs were emitted; score the workload with "
+                "cigars=True to replay winners through the traceback"
+            )
+        return [tb.cigar.to_string() for tb in self.cigars]
 
     def __len__(self) -> int:
         return len(self.results)

@@ -1,10 +1,11 @@
 """The :class:`Session` façade: one configured object, every workflow.
 
 A session binds together everything the scattered entry points used to
-take as per-call arguments -- the workload source (a registry dataset, an
-explicit :class:`DatasetSpec`, raw tasks, or a reference for read
-mapping), the alignment engine, the kernel suite, the hardware pair and
-the cache policy -- and exposes the project's workflows as methods:
+take as per-call arguments -- the workload source (a registry dataset or
+registered workload name, an explicit spec, raw tasks, or a reference
+for read mapping), the alignment engine, the kernel suite, the hardware
+pair and the cache policy -- and exposes the project's workflows as
+methods:
 
 =================  ====================================================
 ``align()``        score the workload with the configured engine
@@ -42,6 +43,7 @@ import numpy as np
 
 from repro.align.batch import DEFAULT_BUCKET_SIZE
 from repro.align.scoring import ScoringScheme
+from repro.align.traceback import TracebackResult, batch_traceback
 from repro.align.types import AlignmentTask
 from repro.api.compare import compare_suite
 from repro.api.engines import EngineOptions, align_tasks, get_engine
@@ -55,11 +57,12 @@ from repro.api.suites import build_suite, get_kernel, get_suite
 from repro.baselines.aligner import CpuAligner
 from repro.baselines.cpu_model import CpuSpec
 from repro.gpusim.device import CostModel, DeviceSpec
-from repro.io.datasets import DATASET_REGISTRY, DatasetSpec, get_dataset_spec
+from repro.io.datasets import DATASET_REGISTRY, get_dataset_spec
 from repro.kernels import GuidedKernel, KernelConfig
 from repro.pipeline.experiment import DEFAULT_HARDWARE_SCALE, scaled_hardware
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.cache import SpecLike
     from repro.bench.records import BenchRecord
     from repro.pipeline.mapper import LongReadMapper, ReadMapping
     from repro.serve.cluster import ClusterConfig, ClusterService
@@ -69,15 +72,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Session"]
 
 
+def _resolve_dataset_name(name: str) -> "SpecLike":
+    """Resolve a dataset *or* registered workload name to its spec.
+
+    The dataset registry wins (its names are pinned in baselines); the
+    workloads package is imported lazily so the registry of built-in
+    workloads only materialises when a session actually names one.
+    """
+    if name in DATASET_REGISTRY:
+        return get_dataset_spec(name)
+    from repro.workloads import resolve_spec
+
+    return resolve_spec(name)
+
+
 class Session:
     """A configured alignment session (the public entry point).
 
     Parameters
     ----------
     dataset:
-        A registry dataset name (``"ONT-HG002"``, ...) or an explicit
-        :class:`DatasetSpec`; the workload is its seeded/chained
-        extension tasks, served through the persistent workload cache.
+        A registry dataset name (``"ONT-HG002"``, ...), a registered
+        workload name (``"adv-heavy-tail"``, ``"fasta-sample"``, ...;
+        see :mod:`repro.workloads`), or an explicit spec; the workload
+        is its task list, served through the persistent workload cache.
     tasks:
         Raw alignment tasks, for callers that build their own workload.
     reference, scoring:
@@ -142,7 +160,7 @@ class Session:
 
     def __init__(
         self,
-        dataset: Optional[Union[str, DatasetSpec]] = None,
+        dataset: Optional[Union[str, "SpecLike"]] = None,
         tasks: Optional[Sequence[AlignmentTask]] = None,
         reference: Optional[np.ndarray] = None,
         scoring: Optional[ScoringScheme] = None,
@@ -170,8 +188,8 @@ class Session:
         # Fail fast on unknown registry names.
         get_engine(engine)
         get_suite(suite)
-        self._spec: Optional[DatasetSpec] = (
-            get_dataset_spec(dataset) if isinstance(dataset, str) else dataset
+        self._spec: Optional["SpecLike"] = (
+            _resolve_dataset_name(dataset) if isinstance(dataset, str) else dataset
         )
         self._tasks = tuple(tasks) if tasks is not None else None
         self._reference = (
@@ -212,8 +230,8 @@ class Session:
     # resolved configuration
     # ------------------------------------------------------------------
     @property
-    def dataset(self) -> Optional[DatasetSpec]:
-        """The session's dataset spec (``None`` for task/reference sessions)."""
+    def dataset(self) -> Optional["SpecLike"]:
+        """The session's dataset/workload spec (``None`` otherwise)."""
         return self._spec
 
     def hardware(self) -> Tuple[DeviceSpec, CpuSpec]:
@@ -273,7 +291,7 @@ class Session:
                 )
         return self._workload
 
-    def _dataset_tasks(self, spec: DatasetSpec) -> Tuple[AlignmentTask, ...]:
+    def _dataset_tasks(self, spec: "SpecLike") -> Tuple[AlignmentTask, ...]:
         # Registry datasets under default cache policy share the in-process
         # memo (and its per-task profile cache) with the bench runner.
         if self.cache_dir is None and self.use_cache and DATASET_REGISTRY.get(spec.name) == spec:
@@ -288,16 +306,32 @@ class Session:
     # alignment
     # ------------------------------------------------------------------
     def align(
-        self, tasks: Optional[Sequence[AlignmentTask]] = None
+        self,
+        tasks: Optional[Sequence[AlignmentTask]] = None,
+        *,
+        cigars: bool = False,
     ) -> AlignmentOutcome:
-        """Score the workload (or ``tasks``) with the configured engine."""
+        """Score the workload (or ``tasks``) with the configured engine.
+
+        ``cigars=True`` additionally replays every scored task through
+        the band-limited traceback and fills
+        :attr:`AlignmentOutcome.cigars` with one
+        :class:`~repro.align.traceback.TracebackResult` per task, each
+        cross-checked field by field against the engine's result.  The
+        scores themselves are untouched -- the engine does the scoring
+        either way.
+        """
         workload = tuple(tasks) if tasks is not None else self.workload()
         options = self.engine_options()
         results = align_tasks(workload, engine=self.engine, options=options)
+        tracebacks: Optional[Tuple[TracebackResult, ...]] = None
+        if cigars:
+            tracebacks = tuple(batch_traceback(workload, results))
         return AlignmentOutcome(
             engine=self.engine,
             batch_size=options.batch_size,
             results=tuple(results),
+            cigars=tracebacks,
         )
 
     # ------------------------------------------------------------------
@@ -451,7 +485,7 @@ class Session:
         figure: str,
         *,
         workers: int = 1,
-        datasets: Optional[Sequence[Union[str, DatasetSpec]]] = None,
+        datasets: Optional[Sequence[Union[str, "SpecLike"]]] = None,
         suites: Optional[Sequence[str]] = None,
         progress: Optional[Callable[[int, int, Any], None]] = None,
     ) -> "BenchRecord":

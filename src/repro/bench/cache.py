@@ -40,12 +40,21 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.align.types import AlignmentTask
 from repro.io.datasets import DatasetSpec, build_dataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.workloads.base import WorkloadSpec
+
+#: Anything the cache can key and build: a seeded dataset spec, or any
+#: frozen dataclass implementing the structural workload hooks
+#: (``build_tasks`` / ``cache_fingerprint_extra``, see
+#: :mod:`repro.workloads.base`).
+SpecLike = Union[DatasetSpec, "WorkloadSpec"]
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -53,6 +62,7 @@ __all__ = [
     "default_cache_dir",
     "cache_enabled",
     "cache_max_bytes",
+    "SpecLike",
     "spec_fingerprint",
     "build_workload",
     "WorkloadCache",
@@ -103,29 +113,44 @@ def cache_max_bytes() -> Optional[int]:
     return value if value >= 0 else None
 
 
-def spec_fingerprint(spec: DatasetSpec) -> str:
-    """Stable hex fingerprint of one dataset specification.
+def spec_fingerprint(spec: SpecLike) -> str:
+    """Stable hex fingerprint of one dataset/workload specification.
 
     Every field of the spec (scoring scheme included) participates, along
-    with the cache schema and workload-builder versions, so any change
-    invalidates the entry by changing its file name.
+    with the spec's type, the cache schema and workload-builder versions,
+    so any change invalidates the entry by changing its file name.  Specs
+    that implement ``cache_fingerprint_extra()`` (registered workloads;
+    see :mod:`repro.workloads.base`) get its return value folded in too,
+    resolved *now* -- a FASTA-backed spec hashes its files here, so an
+    on-disk edit invalidates the entry even though the spec is unchanged.
     """
     payload = {
         "cache_schema": CACHE_SCHEMA_VERSION,
         "workload_version": WORKLOAD_VERSION,
+        "spec_type": type(spec).__name__,
         "spec": dataclasses.asdict(spec),
     }
+    extra_hook = getattr(spec, "cache_fingerprint_extra", None)
+    if callable(extra_hook):
+        extra = extra_hook()
+        if extra is not None:
+            payload["extra"] = extra
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
 
 
-def build_workload(spec: DatasetSpec) -> Tuple[AlignmentTask, ...]:
-    """Run the seeding/chaining pre-compute for one dataset spec.
+def build_workload(spec: SpecLike) -> Tuple[AlignmentTask, ...]:
+    """Materialise one spec's workload (the expensive path the cache skips).
 
-    This is the expensive path the cache exists to skip: materialise the
-    synthetic reference and reads, index the reference, chain every read
-    and extract its extension-alignment tasks (paper Section 5.1).
+    Specs that implement ``build_tasks()`` -- registered workloads --
+    build themselves.  Seeded :class:`DatasetSpec` datasets run the
+    historical pre-compute: materialise the synthetic reference and
+    reads, index the reference, chain every read and extract its
+    extension-alignment tasks (paper Section 5.1).
     """
+    build_hook = getattr(spec, "build_tasks", None)
+    if callable(build_hook):
+        return tuple(build_hook())
     # Imported here: the mapper imports experiment helpers lazily and we
     # keep this module importable without the full pipeline at load time.
     from repro.pipeline.mapper import LongReadMapper
@@ -178,14 +203,14 @@ class WorkloadCache:
     def max_bytes(self) -> Optional[int]:
         return self._max_bytes if self._max_bytes is not None else cache_max_bytes()
 
-    def path_for(self, spec: DatasetSpec) -> Path:
+    def path_for(self, spec: SpecLike) -> Path:
         """File that holds (or would hold) this spec's workload."""
         return self.root / "workloads" / f"{spec.name}-{spec_fingerprint(spec)}.pkl"
 
     # ------------------------------------------------------------------
     # load / store
     # ------------------------------------------------------------------
-    def load(self, spec: DatasetSpec) -> Optional[Tuple[AlignmentTask, ...]]:
+    def load(self, spec: SpecLike) -> Optional[Tuple[AlignmentTask, ...]]:
         """Load one workload, or ``None`` on miss.
 
         A file that cannot be unpickled, has the wrong schema version or a
@@ -230,7 +255,7 @@ class WorkloadCache:
             pass
         return tasks
 
-    def store(self, spec: DatasetSpec, tasks: Sequence[AlignmentTask]) -> Optional[Path]:
+    def store(self, spec: SpecLike, tasks: Sequence[AlignmentTask]) -> Optional[Path]:
         """Persist one workload atomically; returns the file path.
 
         Only the task inputs (sequences, scoring, id) are stored -- cached
@@ -272,8 +297,8 @@ class WorkloadCache:
     # ------------------------------------------------------------------
     def tasks(
         self,
-        spec: DatasetSpec,
-        builder: Optional[Callable[[DatasetSpec], Sequence[AlignmentTask]]] = None,
+        spec: SpecLike,
+        builder: Optional[Callable[[SpecLike], Sequence[AlignmentTask]]] = None,
     ) -> Tuple[AlignmentTask, ...]:
         """The workload of ``spec``: loaded from disk, or built and stored.
 

@@ -32,10 +32,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.suites import ABLATION_LADDER, build_suite as _registry_build_suite, suite_names
 from repro.baselines.cpu_model import CpuSpec
-from repro.bench.cache import WorkloadCache, spec_fingerprint
+from repro.bench.cache import SpecLike, WorkloadCache, spec_fingerprint
 from repro.bench.records import BenchRecord, CellRecord, SuiteRecord, environment_metadata
 from repro.gpusim.device import CostModel, DeviceSpec
-from repro.io.datasets import DATASET_REGISTRY, DatasetSpec, get_dataset_spec
+from repro.io.datasets import DATASET_REGISTRY, get_dataset_spec
 from repro.kernels import GuidedKernel, KernelConfig
 
 __all__ = [
@@ -72,12 +72,20 @@ REPRESENTATIVE_DATASETS: Tuple[str, ...] = ("HiFi-HG005", "CLR-HG002", "ONT-HG00
 
 @dataclass(frozen=True)
 class FigurePlan:
-    """Datasets and suites of one named figure reproduction."""
+    """Datasets and suites of one named figure reproduction.
+
+    ``datasets_provider`` names a module imported before the plan is
+    expanded (registering its workloads and suites as a side effect);
+    when ``datasets`` is empty, the provider's ``workload_names()``
+    supplies the dataset list instead -- so a plan can track whatever is
+    registered at run time rather than a tuple frozen at import time.
+    """
 
     name: str
     suites: Tuple[str, ...]
     datasets: Tuple[str, ...]
     description: str = ""
+    datasets_provider: str = ""
 
 
 def _all_names() -> Tuple[str, ...]:
@@ -104,6 +112,15 @@ FIGURES: Dict[str, FigurePlan] = {
         datasets=REPRESENTATIVE_DATASETS,
         description="Both targets over one dataset per technology",
     ),
+    "workloads": FigurePlan(
+        name="workloads",
+        suites=("workloads",),
+        datasets=(),
+        description="Every registered workload (real FASTA data, "
+        "adversarial length distributions, protein-style scoring) "
+        "under the AGAThA kernel",
+        datasets_provider="repro.workloads",
+    ),
 }
 
 
@@ -123,12 +140,26 @@ def build_suite(
         raise ValueError(exc.args[0] if exc.args else str(exc)) from None
 
 
-def resolve_specs(datasets: Sequence[str | DatasetSpec]) -> List[DatasetSpec]:
-    """Accept registry names or explicit specs; return concrete specs."""
-    return [
-        entry if isinstance(entry, DatasetSpec) else get_dataset_spec(entry)
-        for entry in datasets
-    ]
+def resolve_specs(datasets: Sequence[str | SpecLike]) -> List[SpecLike]:
+    """Accept registry names or explicit specs; return concrete specs.
+
+    Names resolve through the seeded dataset registry first, then the
+    workload registry (:func:`repro.workloads.resolve_spec`), so every
+    registered workload is runnable wherever a dataset name is.
+    """
+    resolved: List[SpecLike] = []
+    for entry in datasets:
+        if not isinstance(entry, str):
+            resolved.append(entry)
+        elif entry in DATASET_REGISTRY:
+            resolved.append(get_dataset_spec(entry))
+        else:
+            # Imported lazily: the workloads package imports the suite
+            # registry, which this module also feeds.
+            from repro.workloads import resolve_spec
+
+            resolved.append(resolve_spec(entry))
+    return resolved
 
 
 # ----------------------------------------------------------------------
@@ -144,7 +175,7 @@ class BenchCell:
     registry datasets share the in-process ``dataset_tasks`` cache.
     """
 
-    spec: DatasetSpec
+    spec: SpecLike
     suite: str
     config: Optional[KernelConfig] = None
     device: Optional[DeviceSpec] = None
@@ -294,7 +325,7 @@ def run_cells(
 # aggregation
 # ----------------------------------------------------------------------
 def _merge_speedups(
-    specs: Sequence[DatasetSpec], results: Sequence[Dict[str, dict]]
+    specs: Sequence[SpecLike], results: Sequence[Dict[str, dict]]
 ) -> Dict[str, Dict[str, float]]:
     """Fold per-cell summaries into a ``speedup_table``-shaped mapping.
 
@@ -316,7 +347,7 @@ def _merge_speedups(
 
 
 def run_speedup_table(
-    datasets: Sequence[str | DatasetSpec],
+    datasets: Sequence[str | SpecLike],
     *,
     suite: Optional[str] = None,
     kernel_factory: Optional[Callable[[], Mapping[str, GuidedKernel]]] = None,
@@ -375,7 +406,7 @@ def run_speedup_table(
 
 
 def _suite_record(
-    suite: str, specs: Sequence[DatasetSpec], results: Sequence[Dict[str, dict]]
+    suite: str, specs: Sequence[SpecLike], results: Sequence[Dict[str, dict]]
 ) -> SuiteRecord:
     record = SuiteRecord(suite=suite)
     for spec, summaries in zip(specs, results):
@@ -403,7 +434,7 @@ def run_figure(
     figure: str,
     *,
     workers: int = 1,
-    datasets: Optional[Sequence[str | DatasetSpec]] = None,
+    datasets: Optional[Sequence[str | SpecLike]] = None,
     suites: Optional[Sequence[str]] = None,
     config: Optional[KernelConfig] = None,
     device: Optional[DeviceSpec] = None,
@@ -422,7 +453,14 @@ def run_figure(
     if figure not in FIGURES:
         raise KeyError(f"unknown figure {figure!r}; available: {sorted(FIGURES)}")
     plan = FIGURES[figure]
-    specs = resolve_specs(datasets if datasets is not None else plan.datasets)
+    plan_datasets: Sequence[str | SpecLike] = plan.datasets
+    if plan.datasets_provider:
+        # Importing the provider registers its workloads and suites; an
+        # empty plan tuple means "everything the provider registers".
+        provider = import_module(plan.datasets_provider)
+        if not plan_datasets:
+            plan_datasets = provider.workload_names()
+    specs = resolve_specs(datasets if datasets is not None else plan_datasets)
     plan_suites = tuple(suites if suites is not None else plan.suites)
     for suite in plan_suites:
         if suite not in suite_names():

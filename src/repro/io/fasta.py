@@ -5,19 +5,42 @@ segment and one query segment per alignment, ``>>> <id>`` headers in its
 sample data, standard ``> <id>`` headers in GenBank-style files).  This
 module reads both header styles and writes standard FASTA, so the example
 applications can exchange data with the original artifact's format.
+
+Files whose name ends in ``.gz`` are transparently (de)compressed, which
+is how real read sets ship (``reads.fasta.gz``); the FASTA-backed
+workload specs in :mod:`repro.workloads.fasta` rely on this.
+
+Malformed input fails loudly: an empty header or a sequence line with
+characters outside the IUPAC nucleotide alphabet raises ``ValueError``
+naming the file, the 1-based line number and the offending text, instead
+of silently encoding garbage (every unknown letter used to become ``N``,
+which turned a mis-concatenated CSV into a valid-looking workload).
+IUPAC ambiguity codes beyond ``ACGTN`` are still *accepted* -- they
+encode as ``N``, exactly what Minimap2's 2-bit packing does -- because
+real GenBank records contain them; the error is reserved for characters
+no sequence format allows.
 """
 
 from __future__ import annotations
 
+import gzip
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import IO, Iterable, List, Union
 
 import numpy as np
 
 from repro.align.sequence import decode, encode
 
 __all__ = ["FastaRecord", "read_fasta", "write_fasta"]
+
+#: Characters legal on a FASTA sequence line (IUPAC nucleotide codes,
+#: either case, plus the gap characters some exporters leave in).
+#: Everything outside ``ACGT``/``acgt`` encodes as ``N``.
+VALID_SEQUENCE_CHARS = frozenset("ACGTUNRYSWKMBDHVacgtunryswkmbdhv-.*")
+
+#: Characters actually dropped before encoding (alignment gap padding).
+_GAP_CHARS = frozenset("-.*")
 
 
 @dataclass(frozen=True)
@@ -40,11 +63,34 @@ class FastaRecord:
         return "\n".join(lines) + "\n"
 
 
+def _open_text(path: Path, mode: str) -> IO[str]:
+    """Open ``path`` as ASCII text, transparently gzipped for ``*.gz``."""
+    if path.name.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def _clean_sequence_line(path: Path, lineno: int, line: str) -> str:
+    """Validate one sequence line; returns it with gap characters dropped."""
+    bad = [ch for ch in line if ch not in VALID_SEQUENCE_CHARS]
+    if bad:
+        raise ValueError(
+            f"{path}, line {lineno}: invalid sequence character(s) "
+            f"{''.join(sorted(set(bad)))!r} in {line!r}"
+        )
+    if any(ch in _GAP_CHARS for ch in line):
+        line = "".join(ch for ch in line if ch not in _GAP_CHARS)
+    return line
+
+
 def read_fasta(path: Union[str, Path]) -> List[FastaRecord]:
     """Read a FASTA file (supports ``>`` and the artifact's ``>>>`` headers).
 
-    Blank lines are ignored; sequences may span multiple lines.  Characters
-    outside ``ACGT`` (case-insensitive) are read as ``N``.
+    ``*.gz`` paths are read through gzip.  Blank lines are ignored;
+    sequences may span multiple lines.  IUPAC ambiguity letters outside
+    ``ACGT`` (case-insensitive) are read as ``N``; anything that is not a
+    nucleotide code at all raises :class:`ValueError` naming the file,
+    line number and offending text.
     """
     path = Path(path)
     records: List[FastaRecord] = []
@@ -57,18 +103,25 @@ def read_fasta(path: Union[str, Path]) -> List[FastaRecord]:
             records.append(FastaRecord(name=name, sequence=encode("".join(chunks))))
         name, chunks = None, []
 
-    with path.open("r", encoding="ascii") as handle:
-        for raw in handle:
+    with _open_text(path, "r") as handle:
+        for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line:
                 continue
             if line.startswith(">"):
                 flush()
                 name = line.lstrip(">").strip()
+                if not name:
+                    raise ValueError(
+                        f"{path}, line {lineno}: empty FASTA header {raw.strip()!r}"
+                    )
             else:
                 if name is None:
-                    raise ValueError(f"{path}: sequence data before the first header")
-                chunks.append(line)
+                    raise ValueError(
+                        f"{path}, line {lineno}: sequence data before the "
+                        f"first header: {line!r}"
+                    )
+                chunks.append(_clean_sequence_line(path, lineno, line))
     flush()
     return records
 
@@ -76,8 +129,12 @@ def read_fasta(path: Union[str, Path]) -> List[FastaRecord]:
 def write_fasta(
     path: Union[str, Path], records: Iterable[FastaRecord], line_width: int = 60
 ) -> None:
-    """Write records to ``path`` in standard FASTA format."""
+    """Write records to ``path`` in standard FASTA format.
+
+    ``*.gz`` paths are written through gzip, so a round trip through
+    :func:`read_fasta` works on compressed files too.
+    """
     path = Path(path)
-    with path.open("w", encoding="ascii") as handle:
+    with _open_text(path, "w") as handle:
         for record in records:
             handle.write(record.to_text(line_width=line_width))

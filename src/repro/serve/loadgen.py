@@ -24,13 +24,15 @@ Three arrival processes, all deterministic given the seed:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.align.types import AlignmentTask
-from repro.io.datasets import DatasetSpec
 from repro.serve.queueing import ServeRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.cache import SpecLike
 
 __all__ = ["RequestTrace", "LoadGenerator"]
 
@@ -106,17 +108,21 @@ class LoadGenerator:
     @classmethod
     def from_dataset(
         cls,
-        dataset: Union[str, DatasetSpec],
+        dataset: Union[str, "SpecLike"],
         *,
         seed: int = 0,
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
     ) -> "LoadGenerator":
-        """A generator over a registry dataset's extension-task workload.
+        """A generator over a dataset's or registered workload's tasks.
 
-        The workload comes through the same cached path
-        :meth:`repro.api.Session.workload` uses, so a serve drain and a
-        figure run of the same dataset share the persistent cache entry.
+        ``dataset`` accepts anything ``Session(dataset=...)`` does: a
+        seeded dataset name or spec, or a registered workload name/spec
+        (:mod:`repro.workloads` -- FASTA-backed, adversarial synthetic,
+        protein-style scoring).  The workload comes through the same
+        cached path :meth:`repro.api.Session.workload` uses, so a serve
+        drain and a figure run of the same name share the persistent
+        cache entry.
         """
         from repro.api.session import Session
 

@@ -1,0 +1,136 @@
+"""Adversarial synthetic workloads: length distributions built to hurt.
+
+The seeded GIAB-like datasets (:mod:`repro.io.datasets`) reproduce the
+paper's *typical* workload shape -- log-normal lengths with a long tail.
+The specs here generate the shapes that specifically stress the batching
+machinery:
+
+``heavy-tail``
+    A log-normal with a much heavier tail than any technology profile:
+    most tasks are tiny, a few are enormous.  Uneven bucketing
+    (:mod:`repro.core.uneven_bucketing`) exists exactly for this shape;
+    a uniform bucketer wastes most of its lanes padding to the giants.
+
+``bimodal``
+    Two tight modes at the extremes, interleaved in arrival order.  Any
+    bucket cut across the modes pairs a ``min_length`` task with a
+    ``max_length`` one, maximising intra-bucket imbalance -- the
+    worst case for lane occupancy before sliced compaction frees the
+    short tasks' lanes.
+
+``sorted-runs``
+    Lengths ascending inside each of ``num_runs`` runs, with a reset
+    between runs.  Sorted input defeats greedy length-bucketing's
+    assumption of exchangeable arrival order: every run boundary drops a
+    near-empty bucket, and within a run termination times are strictly
+    staggered so compaction fires at every slice boundary.
+
+``uniform``
+    Uniform lengths -- the control, and the host of the protein-style
+    ``blosum62`` scoring workload (the interesting axis there is the
+    substitution matrix, not the lengths).
+
+A fraction of the queries (``junk_tail_fraction``) get their tail
+replaced by random sequence, so the Z-drop condition genuinely fires and
+the sliced engines' compaction path is exercised, not just allocated.
+Everything is deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.align.sequence import mutate, random_sequence
+from repro.align.types import AlignmentTask
+from repro.workloads.base import WorkloadSpec
+
+__all__ = ["DISTRIBUTIONS", "AdversarialWorkloadSpec"]
+
+#: The length distributions :class:`AdversarialWorkloadSpec` understands.
+DISTRIBUTIONS: Tuple[str, ...] = ("heavy-tail", "bimodal", "sorted-runs", "uniform")
+
+
+@dataclass(frozen=True)
+class AdversarialWorkloadSpec(WorkloadSpec):
+    """A seeded generator over one adversarial length distribution."""
+
+    distribution: str = "heavy-tail"
+    num_tasks: int = 24
+    seed: int = 0
+    min_length: int = 64
+    max_length: int = 1024
+    divergence: float = 0.06
+    junk_tail_fraction: float = 0.25
+    num_runs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; "
+                f"available: {list(DISTRIBUTIONS)}"
+            )
+        if self.num_tasks <= 0:
+            raise ValueError("num_tasks must be positive")
+        if not 0 < self.min_length <= self.max_length:
+            raise ValueError("need 0 < min_length <= max_length")
+        if not 0.0 <= self.junk_tail_fraction <= 1.0:
+            raise ValueError("junk_tail_fraction must be in [0, 1]")
+        if self.num_runs <= 0:
+            raise ValueError("num_runs must be positive")
+
+    # ------------------------------------------------------------------
+    def _lengths(self, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.min_length, self.max_length
+        n = self.num_tasks
+        if self.distribution == "heavy-tail":
+            draws = rng.lognormal(mean=np.log(lo * 2), sigma=1.4, size=n)
+            return np.clip(draws.astype(np.int64), lo, hi)
+        if self.distribution == "bimodal":
+            short = rng.normal(lo, max(lo / 8, 1.0), size=(n + 1) // 2)
+            long = rng.normal(hi, max(hi / 16, 1.0), size=n // 2)
+            lengths = np.empty(n, dtype=np.int64)
+            # Interleave the modes so every bucket straddles them.
+            lengths[0::2] = np.clip(short.astype(np.int64), lo, hi)
+            lengths[1::2] = np.clip(long.astype(np.int64), lo, hi)
+            return lengths
+        if self.distribution == "sorted-runs":
+            draws = np.clip(
+                rng.integers(lo, hi + 1, size=n).astype(np.int64), lo, hi
+            )
+            run = max(1, n // self.num_runs)
+            for start in range(0, n, run):
+                draws[start : start + run] = np.sort(draws[start : start + run])
+            return draws
+        # "uniform"
+        return np.clip(rng.integers(lo, hi + 1, size=n).astype(np.int64), lo, hi)
+
+    def build_tasks(self) -> Tuple[AlignmentTask, ...]:
+        """Generate the workload (deterministic in every field)."""
+        rng = np.random.default_rng(self.seed)
+        lengths = self._lengths(rng)
+        tasks = []
+        for task_id, length in enumerate(lengths):
+            ref = random_sequence(int(length), rng)
+            query = mutate(
+                ref,
+                rng,
+                substitution_rate=self.divergence,
+                insertion_rate=self.divergence / 3,
+                deletion_rate=self.divergence / 3,
+            )
+            if rng.random() < self.junk_tail_fraction and query.size >= 32:
+                # Replace the tail with junk: the alignment degrades past
+                # the junction and Z-drop terminates it mid-sweep.
+                keep = int(query.size * rng.uniform(0.3, 0.6))
+                query = np.concatenate(
+                    [query[:keep], random_sequence(query.size - keep, rng)]
+                )
+            tasks.append(
+                AlignmentTask(
+                    ref=ref, query=query, scoring=self.scoring, task_id=task_id
+                )
+            )
+        return tuple(tasks)

@@ -86,3 +86,64 @@ class TestPresets:
 
     def test_preset_override(self):
         assert preset("map-ont", zdrop=77).zdrop == 77
+
+    def test_unknown_preset_lists_available_names(self):
+        with pytest.raises(KeyError) as err:
+            preset("nope")
+        message = str(err.value)
+        assert "'nope'" in message
+        for name in ("map-ont", "blosum62"):
+            assert name in message
+
+
+class TestSubstitutionMatrix:
+    MATRIX = (
+        (4, 0, 0, 0, -1),
+        (0, 9, -3, -1, -1),
+        (0, -3, 6, -2, -1),
+        (0, -1, -2, 5, -1),
+        (-1, -1, -1, -1, -1),
+    )
+
+    def test_explicit_matrix_drives_score(self):
+        s = ScoringScheme(matrix=self.MATRIX)
+        for a in range(5):
+            for b in range(5):
+                assert s.score(a, b) == self.MATRIX[a][b]
+
+    def test_explicit_matrix_drives_substitution_matrix(self):
+        import numpy as np
+
+        s = ScoringScheme(matrix=self.MATRIX)
+        assert np.array_equal(s.substitution_matrix(), np.array(self.MATRIX))
+
+    def test_matrix_normalised_to_tuples(self):
+        s = ScoringScheme(matrix=[list(row) for row in self.MATRIX])
+        assert s.matrix == self.MATRIX
+        assert isinstance(s.matrix[0], tuple)
+
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            ((1, 2), (3, 4)),  # wrong shape
+            ((0,) * 5,) * 4,  # too few rows
+            ((0,) * 4,) * 5,  # too few columns
+        ],
+    )
+    def test_bad_matrix_shape_rejected(self, matrix):
+        with pytest.raises(ValueError, match="matrix"):
+            ScoringScheme(matrix=matrix)
+
+    def test_describe_mentions_matrix(self):
+        assert "matrix=5x5" in ScoringScheme(matrix=self.MATRIX).describe()
+        assert "matrix" not in ScoringScheme().describe()
+
+    def test_blosum62_preset(self):
+        s = preset("blosum62")
+        assert s.matrix is not None
+        # Matching letters score by the matrix diagonal, not match=.
+        assert s.score(0, 0) == 4
+        assert s.score(1, 1) == 9
+        # The ambiguity row/column is uniformly -1.
+        assert all(s.score(4, b) == -1 for b in range(5))
+        assert s.gap_open == 10 and s.gap_extend == 1

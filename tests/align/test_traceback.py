@@ -116,3 +116,63 @@ class TestTraceback:
                 else:  # I
                     j += 1
         assert i == tb.ref_end and j == tb.query_end
+
+
+class TestBatchTraceback:
+    def _tasks(self, count=6, seed=17):
+        from repro.align.types import AlignmentTask
+
+        rng = np.random.default_rng(seed)
+        scoring = preset("map-ont", band_width=32, zdrop=150)
+        tasks = []
+        for t in range(count):
+            ref = random_sequence(int(rng.integers(80, 300)), rng)
+            query = mutate(
+                ref,
+                rng,
+                substitution_rate=0.06,
+                insertion_rate=0.02,
+                deletion_rate=0.02,
+            )
+            tasks.append(
+                AlignmentTask(ref=ref, query=query, scoring=scoring, task_id=t)
+            )
+        return tasks
+
+    def test_matches_per_task_oracle(self):
+        from repro.align.traceback import batch_traceback
+
+        tasks = self._tasks()
+        batch = batch_traceback(tasks)
+        assert len(batch) == len(tasks)
+        for task, tb in zip(tasks, batch):
+            assert tb == traceback_align(task.ref, task.query, task.scoring)
+
+    def test_cross_checks_engine_results(self):
+        import pytest
+
+        from repro.align.batch import batch_align
+        from repro.align.traceback import batch_traceback
+
+        tasks = self._tasks()
+        results = batch_align(tasks)
+        batch = batch_traceback(tasks, results)
+        assert [tb.result for tb in batch] == results
+
+        # A diverging engine result is reported, not silently accepted.
+        wrong = list(results)
+        wrong[2] = traceback_align(
+            tasks[0].ref, tasks[0].query, tasks[0].scoring
+        ).result
+        if wrong[2] != results[2]:
+            with pytest.raises(ValueError, match="task 2"):
+                batch_traceback(tasks, wrong)
+
+    def test_length_mismatch_rejected(self):
+        import pytest
+
+        from repro.align.traceback import batch_traceback
+
+        tasks = self._tasks(count=3)
+        with pytest.raises(ValueError, match="does not match"):
+            batch_traceback(tasks, results=[])

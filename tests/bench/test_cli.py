@@ -142,7 +142,9 @@ class TestRunMode:
     def test_unknown_dataset_is_a_clean_error(self, capsys):
         assert main(["--figure", "quick", "--datasets", "ONT-HG02"]) == 2
         captured = capsys.readouterr()
-        assert "error: unknown dataset 'ONT-HG02'" in captured.err
+        assert "error: unknown dataset or workload 'ONT-HG02'" in captured.err
+        # The message lists both namespaces so a typo shows every choice.
+        assert "workloads:" in captured.err
 
     def test_missing_record_file_is_a_clean_error(self, tmp_path, capsys):
         assert main(["compare", str(tmp_path / "nope.json"), str(tmp_path / "x.json")]) == 2

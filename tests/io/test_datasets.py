@@ -94,3 +94,15 @@ class TestLongShortMixture:
         long_positions = [i for i, t in enumerate(tasks) if t.ref_len == 512]
         assert len(long_positions) == 5
         assert max(long_positions) - min(long_positions) > 20
+
+
+class TestGetDatasetSpec:
+    def test_unknown_name_lists_available_names(self):
+        from repro.io.datasets import get_dataset_spec
+
+        with pytest.raises(KeyError) as err:
+            get_dataset_spec("ONT-HG02")
+        message = str(err.value)
+        assert "'ONT-HG02'" in message
+        for name in DATASET_REGISTRY:
+            assert name in message

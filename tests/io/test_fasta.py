@@ -1,9 +1,25 @@
 """Tests for FASTA I/O."""
 
+import gzip
+
 import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.align.sequence import decode, random_sequence
 from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+
+#: Hypothesis building blocks: encoded sequences (codes 0..4 cover
+#: ACGTN) and header names that survive ``lstrip('>').strip()``.
+_sequences = st.lists(st.integers(0, 4), min_size=0, max_size=200).map(
+    lambda codes: np.asarray(codes, dtype=np.uint8)
+)
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=127),
+    min_size=1,
+    max_size=12,
+)
 
 
 class TestFasta:
@@ -51,3 +67,110 @@ class TestFasta:
     def test_record_length(self, rng):
         rec = FastaRecord(name="r", sequence=random_sequence(42, rng))
         assert rec.length == 42
+
+
+class TestGzip:
+    def test_gzip_round_trip(self, tmp_path, rng):
+        records = [
+            FastaRecord(name=f"read{i}", sequence=random_sequence(101, rng))
+            for i in range(3)
+        ]
+        path = tmp_path / "reads.fasta.gz"
+        write_fasta(path, records)
+        # The file really is gzip, not plain text with a .gz name.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        back = read_fasta(path)
+        assert [r.name for r in back] == [r.name for r in records]
+        for a, b in zip(records, back):
+            assert np.array_equal(a.sequence, b.sequence)
+
+    def test_reads_externally_gzipped_file(self, tmp_path):
+        path = tmp_path / "x.fasta.gz"
+        with gzip.open(path, "wt", encoding="ascii") as fh:
+            fh.write(">r1\nACGTN\n")
+        (record,) = read_fasta(path)
+        assert record.name == "r1"
+        assert decode(record.sequence) == "ACGTN"
+
+
+class TestMalformedInput:
+    def test_invalid_sequence_chars_name_file_line_and_text(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text(">r1\nACGT\nAC7T,\n")
+        with pytest.raises(ValueError) as err:
+            read_fasta(path)
+        message = str(err.value)
+        assert str(path) in message
+        assert "line 3" in message
+        assert "',7'" in message  # offending characters, sorted and deduped
+        assert "'AC7T,'" in message  # the offending line itself
+
+    def test_empty_header_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text(">r1\nACGT\n>\nACGT\n")
+        with pytest.raises(ValueError) as err:
+            read_fasta(path)
+        assert str(path) in str(err.value)
+        assert "line 3" in str(err.value)
+        assert "empty FASTA header" in str(err.value)
+
+    def test_sequence_before_header_names_line(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError, match="line 1"):
+            read_fasta(path)
+
+    def test_iupac_ambiguity_codes_still_accepted(self, tmp_path):
+        path = tmp_path / "iupac.fasta"
+        path.write_text(">r\nACGTRYSWKMBDHVU\n")
+        (record,) = read_fasta(path)
+        # Ambiguity codes read as N (Minimap2's 2-bit packing behaviour).
+        assert decode(record.sequence) == "ACGT" + "N" * 11
+
+    def test_gap_characters_dropped(self, tmp_path):
+        path = tmp_path / "gaps.fasta"
+        path.write_text(">r\nAC-GT.*\n")
+        (record,) = read_fasta(path)
+        assert decode(record.sequence) == "ACGT"
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entries=st.lists(st.tuples(_names, _sequences), min_size=1, max_size=6),
+        line_width=st.integers(1, 120),
+        gzipped=st.booleans(),
+    )
+    def test_write_read_identity(self, tmp_path_factory, entries, line_width, gzipped):
+        """``read_fasta(write_fasta(records))`` is the identity."""
+        records = [FastaRecord(name=n, sequence=s) for n, s in entries]
+        suffix = "reads.fasta.gz" if gzipped else "reads.fasta"
+        path = tmp_path_factory.mktemp("fasta") / suffix
+        write_fasta(path, records, line_width=line_width)
+        back = read_fasta(path)
+        assert [r.name for r in back] == [r.name for r in records]
+        for a, b in zip(records, back):
+            assert np.array_equal(a.sequence, b.sequence)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entries=st.lists(st.tuples(_names, _sequences), min_size=1, max_size=6),
+        line_width=st.integers(1, 120),
+        header=st.sampled_from([">", ">>>", ">>> "]),
+    )
+    def test_read_recovers_hand_rendered_text(
+        self, tmp_path_factory, entries, line_width, header
+    ):
+        """Both header styles and any wrap width parse back losslessly."""
+        lines = []
+        for name, sequence in entries:
+            lines.append(f"{header}{name}")
+            seq = decode(sequence)
+            for k in range(0, len(seq), line_width):
+                lines.append(seq[k : k + line_width])
+        path = tmp_path_factory.mktemp("fasta") / "hand.fasta"
+        path.write_text("\n".join(lines) + "\n")
+        back = read_fasta(path)
+        assert [r.name for r in back] == [n for n, _ in entries]
+        for (_, sequence), record in zip(entries, back):
+            assert np.array_equal(sequence, record.sequence)

@@ -27,6 +27,7 @@ def test_examples_discovered():
         "kernel_comparison.py",
         "bwamem_alignment.py",
         "serve_demo.py",
+        "fasta_workload.py",
     } <= names
 
 
