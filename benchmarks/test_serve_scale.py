@@ -9,6 +9,13 @@ latency, every drain stays bit-identical to ``Session.align()``, and
 the run writes the gateable ``BENCH_serve_scale.json`` record that the
 CI perf-trajectory job compares against ``benchmarks/baseline.json``
 (suite ``serve_scale``).
+
+Two elastic scenarios ride in the same record: ``resize2to4`` replays
+the trace on a cluster that grows 2 -> 4 shards mid-drain (p99 must
+stay no worse than the static 2-shard run) and ``autotuned`` drains a
+heavy-tailed trace with router autotuning enabled, which must cut the
+max/mean shard load imbalance of a fixed ``length_stride=128`` router
+by at least 20% without hurting p99.
 """
 
 import numpy as np
@@ -18,12 +25,22 @@ from repro.align.scoring import preset
 from repro.align.sequence import mutate, random_sequence
 from repro.align.types import AlignmentTask
 from repro.api import Session
-from repro.serve import ClusterConfig, LoadGenerator, ServeConfig, cluster_replay, serve_bench_record
+from repro.serve import (
+    ClusterConfig,
+    LoadGenerator,
+    ScalePlan,
+    ServeConfig,
+    cluster_replay,
+    serve_bench_record,
+)
 
 from bench_utils import print_figure, save_record
 
 #: 4-shard vs single-shard throughput floor (ISSUE acceptance).
 MIN_SCALE_SPEEDUP = 2.5
+
+#: Autotuned routing must cut load imbalance by this much vs stride 128.
+MIN_AUTOTUNE_IMPROVEMENT = 0.20
 
 SHARD_COUNTS = (1, 2, 4)
 
@@ -34,6 +51,29 @@ def _scale_workload(count: int = 48, seed: int = 37):
     tasks = []
     for t in range(count):
         ref = random_sequence(int(rng.integers(100, 260)), rng)
+        query = mutate(
+            ref, rng, substitution_rate=0.06, insertion_rate=0.02, deletion_rate=0.02
+        )
+        tasks.append(AlignmentTask(ref=ref, query=query, scoring=scoring, task_id=t))
+    return tasks
+
+
+def _heavy_tail_workload(count: int = 64, seed: int = 101):
+    """~80% short reads plus a 20% tail of 5-10x longer ones.
+
+    Length-bucketed routing with a fixed stride is visibly imbalanced on
+    this mix, which is what gives the autotuner room to demonstrate the
+    acceptance improvement.
+    """
+    rng = np.random.default_rng(seed)
+    scoring = preset("map-ont", band_width=16, zdrop=120)
+    tasks = []
+    for t in range(count):
+        if rng.random() < 0.8:
+            length = int(rng.integers(60, 140))
+        else:
+            length = int(rng.integers(600, 1400))
+        ref = random_sequence(length, rng)
         query = mutate(
             ref, rng, substitution_rate=0.06, insertion_rate=0.02, deletion_rate=0.02
         )
@@ -52,23 +92,47 @@ def test_cluster_scale_out(benchmark, tmp_path):
     trace = generator.poisson(rate_rps=100_000.0, num_requests=256)
     serve = ServeConfig(timing="modeled", max_batch_size=16, max_wait_ms=2.0)
 
+    heavy = LoadGenerator(_heavy_tail_workload(), name="serve-heavy", seed=13)
+    heavy_trace = heavy.poisson(rate_rps=100_000.0, num_requests=192)
+    fixed = ClusterConfig(serve=serve, shards=4, router="length", length_stride=128)
+
     def run():
-        return [
+        sweep = [
             cluster_replay(trace, ClusterConfig(serve=serve, shards=shards))
             for shards in SHARD_COUNTS
         ]
+        resized = cluster_replay(
+            trace,
+            ClusterConfig(serve=serve, shards=2),
+            policy="resize2to4",
+            resize_at=ScalePlan(steps=((1.0, 4),)),
+        )
+        elastic = [
+            cluster_replay(
+                heavy_trace, ClusterConfig(serve=serve, shards=1), policy="shards1"
+            ),
+            cluster_replay(heavy_trace, fixed, policy="length128"),
+            cluster_replay(
+                heavy_trace, fixed.replace(autotune=True), policy="autotuned"
+            ),
+        ]
+        return sweep, resized, elastic
 
     reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    sweep, resized, elastic = reports
 
-    # Sharding changes placement, never arithmetic: every report is
-    # bit-identical to the offline engine on the same tasks.
+    # Sharding, resizing and retuning change placement, never
+    # arithmetic: every report is bit-identical to the offline engine.
     direct = list(Session(tasks=list(trace.tasks), engine="batch").align())
-    for report in reports:
+    for report in [*sweep, resized]:
         assert report.results() == direct
+    heavy_direct = list(Session(tasks=list(heavy_trace.tasks), engine="batch").align())
+    for report in elastic:
+        assert report.results() == heavy_direct
 
-    by_shards = {report.shards: report for report in reports}
+    by_shards = {report.shards: report for report in sweep}
     record = serve_bench_record(
-        reports, baseline="shards1", figure="serve_scale"
+        [*sweep, resized, *elastic], baseline="shards1", figure="serve_scale"
     )
     save_record(record, tmp_path)
     print_figure(
@@ -101,6 +165,64 @@ def test_cluster_scale_out(benchmark, tmp_path):
     # the router on this trace).
     assert by_shards[2].makespan_ms < by_shards[1].makespan_ms
     assert by_shards[4].makespan_ms < by_shards[2].makespan_ms
+
+    # --- elastic scenario 1: grow 2 -> 4 shards mid-drain ------------
+    resize = resized.telemetry["resize"]
+    assert resize["events"] == 1
+    assert resize["relocated"] > 0
+    p99_resized = resized.telemetry["latency_ms"]["p99_ms"]
+    assert p99_resized <= by_shards[2].telemetry["latency_ms"]["p99_ms"], (
+        f"growing 2 -> 4 shards mid-drain worsened p99: {p99_resized:.3f}ms "
+        f"vs the static 2-shard run"
+    )
+    # The elastic drain lands between the static endpoints: capacity
+    # arrives late, so it cannot beat always-4, but it must beat
+    # always-2.
+    assert by_shards[4].makespan_ms < resized.makespan_ms < by_shards[2].makespan_ms
+
+    # --- elastic scenario 2: autotuned routing on a heavy tail -------
+    anchor_h, length128, autotuned = elastic
+    choice = autotuned.telemetry["autotune"]
+    improvement = 1.0 - choice["imbalance"] / choice["baseline_imbalance"]
+    assert improvement >= MIN_AUTOTUNE_IMPROVEMENT, (
+        f"autotuning only cut shard load imbalance by {improvement:.0%} "
+        f"(stride-128 baseline {choice['baseline_imbalance']:.3f} -> "
+        f"{choice['imbalance']:.3f}); expected >= {MIN_AUTOTUNE_IMPROVEMENT:.0%}"
+    )
+    p99_tuned = autotuned.telemetry["latency_ms"]["p99_ms"]
+    p99_fixed = length128.telemetry["latency_ms"]["p99_ms"]
+    assert p99_tuned <= p99_fixed, (
+        f"autotuned routing worsened p99: {p99_tuned:.3f}ms vs "
+        f"{p99_fixed:.3f}ms with length_stride=128"
+    )
+    print_figure(
+        "Elastic scenarios: mid-drain resize and autotuned routing",
+        ["scenario", "workload", "makespan_ms", "p99_latency_ms", "note"],
+        [
+            [
+                "resize2to4",
+                resized.workload,
+                resized.makespan_ms,
+                p99_resized,
+                f"relocated={resize['relocated']}",
+            ],
+            [
+                "length128",
+                length128.workload,
+                length128.makespan_ms,
+                p99_fixed,
+                f"imbalance={choice['baseline_imbalance']:.3f}",
+            ],
+            [
+                "autotuned",
+                autotuned.workload,
+                autotuned.makespan_ms,
+                p99_tuned,
+                f"{choice['policy']}/{choice['length_stride']} "
+                f"imbalance={choice['imbalance']:.3f}",
+            ],
+        ],
+    )
 
 
 @pytest.mark.benchmark(group="serve")

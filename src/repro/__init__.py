@@ -95,15 +95,23 @@ _EXPORTS = {
     "RequestTrace": "repro.api",
     "replay": "repro.api",
     "serve_bench_record": "repro.api",
-    # sharded serving cluster
+    # sharded serving cluster (elasticity, fault injection, autotuning)
     "ClusterConfig": "repro.api",
     "ClusterReport": "repro.api",
     "ClusterService": "repro.api",
+    "ScalePlan": "repro.api",
     "ShardRouter": "repro.api",
     "ShardFailedError": "repro.api",
     "cluster_replay": "repro.api",
     "AdmissionController": "repro.api",
     "RequestRejected": "repro.api",
+    "AutotuneConfig": "repro.api",
+    "autotune_router": "repro.api",
+    "FaultPlan": "repro.api",
+    "CrashFault": "repro.api",
+    "DelayFault": "repro.api",
+    "DropFault": "repro.api",
+    "DuplicateFault": "repro.api",
     "engine_bench_record": "repro.api",
     # workload registry (real FASTA data, adversarial synthetic,
     # protein-style scoring; see docs/WORKLOADS.md)
@@ -126,10 +134,18 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis view of the lazy exports
         AdmissionController,
         AlignmentOutcome,
         AlignmentService,
+        AutotuneConfig,
         ClusterConfig,
         ClusterReport,
         ClusterService,
         ComparisonOutcome,
+        CrashFault,
+        DelayFault,
+        DropFault,
+        DuplicateFault,
+        FaultPlan,
+        ScalePlan,
+        autotune_router,
         CpuSummary,
         EngineOptions,
         InFlightBatch,

@@ -35,7 +35,10 @@ rides along: :class:`ClusterConfig`/:class:`ClusterService` (reachable
 through ``Session.serve(shards=N)``), the deterministic
 :class:`ShardRouter`, :func:`cluster_replay`, and the bounded-admission
 pieces (:class:`AdmissionController`, :class:`RequestRejected`,
-:class:`ShardFailedError`).
+:class:`ShardFailedError`) -- plus the elastic/chaos surface:
+:class:`ScalePlan` resize schedules, the :class:`FaultPlan` fault types
+(:class:`CrashFault`, :class:`DelayFault`, :class:`DropFault`,
+:class:`DuplicateFault`) and :class:`AutotuneConfig` router autotuning.
 
 Everything exported here is covered by the public-API snapshot test
 (``tests/api/test_public_surface.py``) and the deprecation policy: old
@@ -93,10 +96,19 @@ from repro.serve.queueing import AdmissionController, RequestRejected
 from repro.serve.scheduler import ServeReport, replay
 from repro.serve.service import AlignmentService
 from repro.serve.telemetry import serve_bench_record
+from repro.serve.autotune import AutotuneConfig, autotune_router
+from repro.serve.faults import (
+    CrashFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+)
 from repro.serve.cluster import (
     ClusterConfig,
     ClusterReport,
     ClusterService,
+    ScalePlan,
     ShardFailedError,
     ShardRouter,
     cluster_replay,
@@ -177,9 +189,17 @@ __all__ = [
     "ClusterConfig",
     "ClusterReport",
     "ClusterService",
+    "ScalePlan",
     "ShardFailedError",
     "ShardRouter",
     "cluster_replay",
+    "AutotuneConfig",
+    "autotune_router",
+    "FaultPlan",
+    "CrashFault",
+    "DelayFault",
+    "DropFault",
+    "DuplicateFault",
     "engine_bench_record",
     # workloads (lazily re-exported from repro.workloads)
     "WorkloadSpec",

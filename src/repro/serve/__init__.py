@@ -32,7 +32,14 @@ The single service scales out through :mod:`repro.serve.cluster`: a
 processes (:class:`ClusterService`), bounded admission backpressure
 lives in :class:`AdmissionController`, and :func:`cluster_replay` is the
 virtual-clock counterpart whose results stay bit-identical to
-``Session.align`` for any trace and shard count.
+``Session.align`` for any trace and shard count.  The cluster is
+elastic and chaos-testable: :meth:`ClusterService.scale_to` /
+:class:`ScalePlan` resize the shard set live or on the virtual clock, a
+:class:`FaultPlan` injects deterministic crashes, stalls and
+dropped/duplicated dispatches into both layers, and
+:func:`autotune_router` (``ClusterConfig(autotune=...)``) picks the
+routing policy/stride that minimises shard load imbalance from observed
+traffic.
 
 Served scores are bit-identical to :meth:`repro.api.Session.align` on
 the same tasks -- batching changes *when* work happens, never *what* is
@@ -58,11 +65,27 @@ from repro.serve.telemetry import (
 from repro.serve.loadgen import LoadGenerator, RequestTrace
 from repro.serve.scheduler import ServeReport, modeled_service_ms, replay
 from repro.serve.service import AlignmentService
+from repro.serve.autotune import (
+    AutotuneConfig,
+    RouterChoice,
+    TrafficObserver,
+    autotune_router,
+    shard_load_imbalance,
+)
+from repro.serve.faults import (
+    CrashFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    ShardFaults,
+)
 from repro.serve.cluster import (
     ROUTE_POLICIES,
     ClusterConfig,
     ClusterReport,
     ClusterService,
+    ScalePlan,
     ShardFailedError,
     ShardRouter,
     cluster_replay,
@@ -91,7 +114,19 @@ __all__ = [
     "ClusterConfig",
     "ClusterReport",
     "ClusterService",
+    "ScalePlan",
     "ShardFailedError",
     "ShardRouter",
     "cluster_replay",
+    "AutotuneConfig",
+    "RouterChoice",
+    "TrafficObserver",
+    "autotune_router",
+    "shard_load_imbalance",
+    "CrashFault",
+    "DelayFault",
+    "DropFault",
+    "DuplicateFault",
+    "FaultPlan",
+    "ShardFaults",
 ]

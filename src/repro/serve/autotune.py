@@ -1,0 +1,232 @@
+"""Length-router autotuning: pick the routing policy from observed traffic.
+
+The ``"length"`` routing policy co-locates tasks with similar sweep
+lengths, but its quality hinges on ``length_stride`` matching the
+workload's length distribution: a stride wider than most tasks'
+anti-diagonal counts collapses every request into bucket zero (one shard
+does all the work), a too-narrow stride scatters neighbours apart.  The
+right stride is a property of the *traffic*, so this module derives it
+from the traffic instead of asking the operator to guess.
+
+:func:`shard_load_imbalance` is the objective: route a task sample with
+a candidate :class:`~repro.serve.cluster.ShardRouter` and measure
+``max(shard load) / mean(shard load)``, where a task's load contribution
+is its anti-diagonal count (the quantity the service time model charges
+for).  1.0 is a perfectly level cluster; ``shards`` is one shard doing
+everything.
+
+:func:`autotune_router` sweeps a candidate grid -- each policy in
+:attr:`AutotuneConfig.policies`, and for ``"length"`` each stride in
+:attr:`AutotuneConfig.strides` -- and returns the
+:class:`RouterChoice` minimising imbalance over the observed sample,
+with deterministic tie-breaking (grid order), so the same traffic always
+tunes to the same router.  :class:`TrafficObserver` is the live-cluster
+front half: it buffers ``task.num_antidiagonals`` from the first
+``sample_size`` admitted requests, then hands the sample to the tuner
+(:class:`~repro.serve.cluster.ClusterService` swaps its router in the
+same lock step, so routing stays deterministic given the submission
+order).  :func:`~repro.serve.cluster.cluster_replay` tunes on the trace
+prefix of the same length, which makes the replay's choice a pure
+function of the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.align.types import AlignmentTask
+    from repro.serve.cluster import ShardRouter
+
+__all__ = [
+    "AutotuneConfig",
+    "RouterChoice",
+    "TrafficObserver",
+    "autotune_router",
+    "shard_load_imbalance",
+]
+
+
+@dataclass(frozen=True)
+class AutotuneConfig:
+    """Knobs of the router autotuner.
+
+    ``sample_size`` requests are observed before choosing (the replay
+    uses the trace prefix, the live cluster the first admissions);
+    ``policies`` and ``strides`` span the candidate grid.  Policies that
+    ignore the stride (``"hash"``, ``"stable"``) contribute one candidate
+    each; ``"length"`` contributes one per stride.
+    """
+
+    sample_size: int = 64
+    strides: Tuple[int, ...] = (16, 32, 64, 128, 256, 512)
+    policies: Tuple[str, ...] = ("hash", "length")
+
+    def __post_init__(self) -> None:
+        from repro.serve.cluster import ROUTE_POLICIES
+
+        if self.sample_size < 1:
+            raise ValueError("sample_size must be >= 1")
+        if not self.strides or any(stride <= 0 for stride in self.strides):
+            raise ValueError("strides must be a non-empty tuple of positive ints")
+        if not self.policies:
+            raise ValueError("policies must be non-empty")
+        for policy in self.policies:
+            if policy not in ROUTE_POLICIES:
+                raise ValueError(
+                    f"autotune policy must be one of {ROUTE_POLICIES}, got {policy!r}"
+                )
+
+
+@dataclass(frozen=True)
+class RouterChoice:
+    """The tuner's verdict: the chosen router and the evidence for it.
+
+    ``imbalance`` is the chosen router's max/mean shard load over the
+    sample, ``baseline_imbalance`` the statically configured router's on
+    the same sample -- the pair is what benchmark gates assert on.
+    """
+
+    policy: str
+    length_stride: int
+    imbalance: float
+    baseline_imbalance: float
+    sample_size: int
+
+    @property
+    def improvement(self) -> float:
+        """Fractional imbalance reduction vs the configured router."""
+        if self.baseline_imbalance <= 0:
+            return 0.0
+        return 1.0 - self.imbalance / self.baseline_imbalance
+
+    def to_dict(self) -> dict:
+        """The ``"autotune"`` block of a cluster telemetry summary."""
+        return {
+            "policy": self.policy,
+            "length_stride": self.length_stride,
+            "imbalance": self.imbalance,
+            "baseline_imbalance": self.baseline_imbalance,
+            "sample_size": self.sample_size,
+        }
+
+
+def shard_load_imbalance(
+    tasks: Sequence["AlignmentTask"],
+    router: "ShardRouter",
+    *,
+    first_id: int = 0,
+) -> float:
+    """Max/mean shard load of routing ``tasks`` with ``router``.
+
+    Load is the summed anti-diagonal count per shard (the work the
+    modeled service time charges for), and the mean is over *all*
+    ``router.shards`` shards -- an empty shard is imbalance, not absence.
+    ``first_id`` is the request id of ``tasks[0]`` (ids are consecutive),
+    so live observers can score a mid-stream window.  Returns 1.0 for an
+    empty or zero-load sample.
+    """
+    loads = [0] * router.shards
+    for offset, task in enumerate(tasks):
+        loads[router.route(task, first_id + offset)] += task.num_antidiagonals
+    total = sum(loads)
+    if total <= 0:
+        return 1.0
+    return max(loads) / (total / router.shards)
+
+
+def autotune_router(
+    tasks: Sequence["AlignmentTask"],
+    shards: int,
+    config: Optional[AutotuneConfig] = None,
+    *,
+    baseline: Optional["ShardRouter"] = None,
+    first_id: int = 0,
+) -> RouterChoice:
+    """Pick the candidate router minimising load imbalance on ``tasks``.
+
+    The grid is ``config.policies`` x ``config.strides`` (stride-free
+    policies evaluated once, with the baseline's stride so the chosen
+    router differs from the configured one only where it matters).  Ties
+    break toward the earlier grid entry, so the choice is a deterministic
+    function of the sample.  ``baseline`` is the statically configured
+    router (defaults to plain ``hash``); its imbalance on the same sample
+    is reported for gating.
+    """
+    from repro.serve.cluster import ShardRouter
+
+    config = config or AutotuneConfig()
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if not tasks:
+        raise ValueError("autotune_router needs a non-empty task sample")
+    if baseline is None:
+        baseline = ShardRouter(shards=shards)
+    baseline_imbalance = shard_load_imbalance(tasks, baseline, first_id=first_id)
+
+    candidates: List[ShardRouter] = []
+    for policy in config.policies:
+        if policy == "length":
+            for stride in config.strides:
+                candidates.append(
+                    ShardRouter(shards=shards, policy=policy, length_stride=stride)
+                )
+        else:
+            candidates.append(
+                ShardRouter(
+                    shards=shards, policy=policy, length_stride=baseline.length_stride
+                )
+            )
+
+    best: Optional[ShardRouter] = None
+    best_imbalance = float("inf")
+    for candidate in candidates:
+        imbalance = shard_load_imbalance(tasks, candidate, first_id=first_id)
+        if imbalance < best_imbalance:  # strict: ties keep the earlier entry
+            best = candidate
+            best_imbalance = imbalance
+    assert best is not None
+    return RouterChoice(
+        policy=best.policy,
+        length_stride=best.length_stride,
+        imbalance=best_imbalance,
+        baseline_imbalance=baseline_imbalance,
+        sample_size=len(tasks),
+    )
+
+
+class TrafficObserver:
+    """Buffers admitted tasks until the tuning sample is complete.
+
+    The live cluster calls :meth:`observe` under its submission lock;
+    once ``sample_size`` tasks have been seen, :meth:`ready` flips and
+    :meth:`tune` yields the :class:`RouterChoice` for the current shard
+    count.  Pure bookkeeping -- no clocks, no threads -- so a replayed
+    submission order reproduces the live choice exactly.
+    """
+
+    def __init__(self, config: Optional[AutotuneConfig] = None) -> None:
+        self.config = config or AutotuneConfig()
+        self._tasks: List["AlignmentTask"] = []
+
+    @property
+    def ready(self) -> bool:
+        return len(self._tasks) >= self.config.sample_size
+
+    @property
+    def observed(self) -> int:
+        return len(self._tasks)
+
+    def observe(self, task: "AlignmentTask") -> bool:
+        """Record one admitted task; True once the sample is complete."""
+        if not self.ready:
+            self._tasks.append(task)
+        return self.ready
+
+    def tune(self, shards: int, *, baseline: "ShardRouter") -> RouterChoice:
+        if not self._tasks:
+            raise ValueError("no traffic observed yet")
+        return autotune_router(
+            self._tasks, shards, self.config, baseline=baseline
+        )

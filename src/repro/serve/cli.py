@@ -26,7 +26,13 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.io.datasets import DATASET_REGISTRY
-from repro.serve.cluster import ROUTE_POLICIES, ClusterConfig, ClusterReport, cluster_replay
+from repro.serve.cluster import (
+    ROUTE_POLICIES,
+    ClusterConfig,
+    ClusterReport,
+    ScalePlan,
+    cluster_replay,
+)
 from repro.serve.config import REFILL_MODES, TIMING_MODES, ServeConfig
 from repro.serve.loadgen import LoadGenerator, RequestTrace
 from repro.serve.scheduler import ServeReport, replay
@@ -166,7 +172,23 @@ def _parser() -> argparse.ArgumentParser:
         default="hash",
         choices=ROUTE_POLICIES,
         help="cluster routing policy: hash spreads by request id, length "
-        "co-locates similar sweep lengths (default: hash)",
+        "co-locates similar sweep lengths, stable keeps resizes to the "
+        "minimal key movement (default: hash)",
+    )
+    parser.add_argument(
+        "--autotune",
+        action="store_true",
+        help="observe the trace prefix and pick the routing policy/stride "
+        "minimising shard load imbalance (cluster drains only)",
+    )
+    parser.add_argument(
+        "--resize-at",
+        action="append",
+        default=None,
+        metavar="MS:SHARDS",
+        help="elastically resize the cluster drain at virtual time MS to "
+        "SHARDS shards; repeatable for multi-step schedules "
+        "(e.g. --resize-at 50:4 --resize-at 200:2)",
     )
     parser.add_argument(
         "--fifo",
@@ -205,6 +227,24 @@ def _parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the telemetry table"
     )
     return parser
+
+
+def _parse_resize(specs: Optional[Sequence[str]]) -> Optional[ScalePlan]:
+    """``["50:4", "200:2"]`` -> a :class:`ScalePlan` (None passes through)."""
+    if not specs:
+        return None
+    steps = []
+    for spec in specs:
+        at_ms, sep, shards = spec.partition(":")
+        try:
+            if not sep:
+                raise ValueError(spec)
+            steps.append((float(at_ms), int(shards)))
+        except ValueError:
+            raise ValueError(
+                f"--resize-at expects MS:SHARDS (e.g. 50:4), got {spec!r}"
+            ) from None
+    return ScalePlan(steps=tuple(steps))
 
 
 def _make_trace(generator: LoadGenerator, args: argparse.Namespace) -> RequestTrace:
@@ -246,6 +286,14 @@ def _format_report(report: "ServeReport | ClusterReport") -> List[str]:
             for index, summary in sorted(shards.items(), key=lambda kv: int(kv[0]))
         )
         lines.append(f"  requests per shard    : {per_shard}")
+    autotune = report.telemetry.get("autotune") if isinstance(report.telemetry, dict) else None
+    if autotune:
+        lines.append(
+            f"  autotuned router      : {autotune['policy']}"
+            f"/stride {autotune['length_stride']} "
+            f"(imbalance {autotune['imbalance']:.2f}, "
+            f"baseline {autotune['baseline_imbalance']:.2f})"
+        )
     return lines
 
 
@@ -292,11 +340,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
         reports: List["ServeReport | ClusterReport"]
+        if args.resize_at and args.shards <= 1:
+            raise ValueError("--resize-at needs a cluster drain (--shards >= 2)")
+        if args.autotune and args.shards <= 1:
+            raise ValueError("--autotune needs a cluster drain (--shards >= 2)")
         if args.shards > 1:
             cluster = ClusterConfig(
-                serve=config, shards=args.shards, router=args.router
+                serve=config,
+                shards=args.shards,
+                router=args.router,
+                autotune=args.autotune or None,
             )
-            reports = [cluster_replay(trace, cluster)]
+            reports = [
+                cluster_replay(trace, cluster, resize_at=_parse_resize(args.resize_at))
+            ]
             baseline = reports[0].policy
             # The natural anchor for a cluster is the same trace through
             # one service: the speedup is what scaling out buys.

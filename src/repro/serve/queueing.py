@@ -240,6 +240,24 @@ class MicroBatcher:
             request.dispatch_ms = now_ms
         return batch
 
+    def restore(self, requests: Sequence[ServeRequest]) -> None:
+        """Return requests whose dispatch was revoked to the queue.
+
+        The inverse of :meth:`take`/:meth:`form_batch` for the fault and
+        resize paths: a dropped dispatch (:class:`repro.serve.faults.DropFault`)
+        or a draining shard puts its requests back so they go out again
+        later.  The queue re-sorts by ``(arrival_ms, request_id)``, so the
+        oldest-request-at-front invariant behind :meth:`next_deadline_ms`
+        survives out-of-order returns; stale ``dispatch_ms`` stamps are
+        cleared (the next dispatch re-stamps them).
+        """
+        if not requests:
+            return
+        for request in requests:
+            request.dispatch_ms = None
+            self._pending.append(request)
+        self._pending.sort(key=lambda request: (request.arrival_ms, request.request_id))
+
     def preempt(
         self, predicate: Callable[[ServeRequest], bool]
     ) -> List[ServeRequest]:

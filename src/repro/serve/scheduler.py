@@ -63,6 +63,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.align.batch import DEFAULT_SLICE_WIDTH
 from repro.align.types import AlignmentResult, AlignmentTask
 from repro.serve.config import ServeConfig
+from repro.serve.faults import ShardFaults
 from repro.serve.loadgen import RequestTrace
 from repro.serve.queueing import MicroBatcher, ServeRequest
 from repro.serve.telemetry import TelemetrySink
@@ -160,6 +161,7 @@ def replay(
     policy: Optional[str] = None,
     service_time: Optional[ServiceTime] = None,
     sink: Optional[TelemetrySink] = None,
+    faults: Optional[ShardFaults] = None,
 ) -> ServeReport:
     """Drain ``trace`` through the service policy on a virtual clock.
 
@@ -170,17 +172,30 @@ def replay(
     modeled durations.  ``sink`` lets a caller keep the raw telemetry
     samples (:func:`repro.serve.cluster.cluster_replay` passes one per
     shard and merges them); the report's ``telemetry`` summary is taken
-    from it either way.  Results are bit-identical to scoring the
-    trace's tasks directly with the configured engine -- neither
-    batching nor refill ever changes the arithmetic.
+    from it either way.  ``faults`` injects a deterministic
+    :class:`~repro.serve.faults.ShardFaults` view into the event loop --
+    stalls push dispatch times, dropped dispatches restore their batch to
+    the queue, duplicated dispatches charge the worker twice (crash
+    faults live one level up, in ``cluster_replay``).  Results are
+    bit-identical to scoring the trace's tasks directly with the
+    configured engine -- neither batching, refill nor fault timing ever
+    changes the arithmetic.
     """
     config = config or ServeConfig()
     if config.resolved_refill() == "continuous":
+        if faults is not None and (faults.drops or faults.duplicates):
+            raise ValueError(
+                "drop/duplicate faults address drain-mode batch dispatches; "
+                "continuous refill has no discrete dispatch stream to index "
+                "(use delay faults, or refill='drain')"
+            )
         return _replay_continuous(
-            trace, config, policy=policy, service_time=service_time, sink=sink
+            trace, config, policy=policy, service_time=service_time, sink=sink,
+            faults=faults,
         )
     return _replay_drain(
-        trace, config, policy=policy, service_time=service_time, sink=sink
+        trace, config, policy=policy, service_time=service_time, sink=sink,
+        faults=faults,
     )
 
 
@@ -194,6 +209,7 @@ def _replay_drain(
     policy: Optional[str],
     service_time: Optional[ServiceTime],
     sink: Optional[TelemetrySink] = None,
+    faults: Optional[ShardFaults] = None,
 ) -> ServeReport:
     from repro.api.engines import open_batch
 
@@ -205,8 +221,23 @@ def _replay_drain(
     )
     workers = [0.0] * config.workers
     sink = sink if sink is not None else TelemetrySink()
+    stalls = faults.stalls if faults is not None else ()
+    drops = faults.drops if faults is not None else frozenset()
+    duplicates = faults.duplicates if faults is not None else frozenset()
+    stall_idx = 0
+    dispatch_index = 0
     now = 0.0
     makespan_end = 0.0
+
+    def stalled(at_ms: float) -> Tuple[float, int]:
+        """Dispatch time after stalls due by ``at_ms``, plus the stall
+        cursor to commit *if* the dispatch happens (an earlier arrival may
+        still preempt it, so application is non-destructive)."""
+        cursor = stall_idx
+        while cursor < len(stalls) and stalls[cursor][0] <= at_ms:
+            at_ms = max(at_ms, stalls[cursor][0] + stalls[cursor][1])
+            cursor += 1
+        return at_ms, cursor
 
     def admit_until(limit_ms: float) -> None:
         while queue and queue[0].arrival_ms <= limit_ms:
@@ -251,6 +282,7 @@ def _replay_drain(
             deadline = batcher.next_deadline_ms()
             assert deadline is not None
             dispatch_at = max(deadline, free_at)
+        dispatch_at, stall_cursor = stalled(dispatch_at)
         if next_arrival < dispatch_at:
             # An arrival precedes the would-be dispatch and may fill the
             # batch (or become its length-mate); admit it first.
@@ -258,8 +290,20 @@ def _replay_drain(
             admit_until(now)
             continue
         now = max(now, dispatch_at)
+        for _ in range(stall_cursor - stall_idx):
+            sink.record_fault("delays")
+        stall_idx = stall_cursor
         batch = batcher.form_batch(now)
         sink.record_queue_depth(len(batcher))  # dispatched requests left the queue
+        this_dispatch = dispatch_index
+        dispatch_index += 1
+        if this_dispatch in drops:
+            # The send was lost before reaching the worker: the batch
+            # returns to the queue and goes out on a later dispatch.
+            sink.record_fault("dropped")
+            batcher.restore(batch)
+            sink.record_queue_depth(len(batcher))
+            continue
         tasks = [request.task for request in batch]
         results, duration = execute(tasks)
         if len(results) != len(batch):
@@ -270,7 +314,14 @@ def _replay_drain(
         if duration < 0:
             raise ValueError("service time must be non-negative")
         slot = workers.index(free_at)
-        workers[slot] = now + duration
+        if this_dispatch in duplicates:
+            # Delivered twice: the worker serves both copies (the slot
+            # stays busy for two service times) but results are stamped
+            # once, at the first copy's completion.
+            sink.record_fault("duplicated")
+            workers[slot] = now + 2 * duration
+        else:
+            workers[slot] = now + duration
         completion = now + duration
         makespan_end = max(makespan_end, completion)
         sink.record_batch(len(batch))
@@ -299,6 +350,7 @@ def _replay_continuous(
     policy: Optional[str],
     service_time: Optional[ServiceTime],
     sink: Optional[TelemetrySink] = None,
+    faults: Optional[ShardFaults] = None,
 ) -> ServeReport:
     """One streaming handle, refilled at every slice boundary.
 
@@ -328,6 +380,8 @@ def _replay_continuous(
     )
     sink = sink if sink is not None else TelemetrySink()
     inflight: Dict[int, ServeRequest] = {}
+    stalls = faults.stalls if faults is not None else ()
+    stall_idx = 0
     now = 0.0
     makespan_end = 0.0
 
@@ -335,6 +389,14 @@ def _replay_continuous(
         while queue and queue[0].arrival_ms <= limit_ms:
             batcher.add(queue.popleft())
             sink.record_queue_depth(len(batcher))
+
+    def stalled(at_ms: float) -> Tuple[float, int]:
+        """Non-destructive stall application (see ``_replay_drain``)."""
+        cursor = stall_idx
+        while cursor < len(stalls) and stalls[cursor][0] <= at_ms:
+            at_ms = max(at_ms, stalls[cursor][0] + stalls[cursor][1])
+            cursor += 1
+        return at_ms, cursor
 
     def admit_to_stream(batch: List[ServeRequest]) -> None:
         indices = stream.admit([request.task for request in batch])
@@ -368,10 +430,14 @@ def _replay_continuous(
                 deadline = batcher.next_deadline_ms()
                 assert deadline is not None
                 dispatch_at = max(deadline, now)
+            dispatch_at, stall_cursor = stalled(dispatch_at)
             if next_arrival < dispatch_at:
                 now = next_arrival
                 continue
             now = max(now, dispatch_at)
+            for _ in range(stall_cursor - stall_idx):
+                sink.record_fault("delays")
+            stall_idx = stall_cursor
             batch = batcher.form_batch(now)
             admit_to_stream(batch)
             admitted_now = len(batch)
@@ -398,6 +464,12 @@ def _replay_continuous(
         if duration < 0:
             raise ValueError("service time must be non-negative")
         now += duration
+        # A stall crossed while the slice ran pushes its boundary: the
+        # device pauses mid-slice, completions land after the stall.
+        while stall_idx < len(stalls) and stalls[stall_idx][0] <= now:
+            now = max(now, stalls[stall_idx][0] + stalls[stall_idx][1])
+            sink.record_fault("delays")
+            stall_idx += 1
         for stat in stats:
             sink.record_slice(stat)
         for index, result in stream.take_completed():

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "SERVE_SCHEMA_VERSION",
     "ADMISSION_OUTCOMES",
+    "FAULT_KINDS",
     "percentile",
     "LatencySummary",
     "TelemetrySink",
@@ -63,7 +64,15 @@ __all__ = [
 #: per-shard summary while the top-level percentiles are recomputed from
 #: the pooled raw samples (sinks merge via :meth:`TelemetrySink.merge`,
 #: never by averaging percentiles).
-SERVE_SCHEMA_VERSION = 3
+#:
+#: v4 added the elastic-cluster fields: every summary carries ``faults``
+#: counters (``FAULT_KINDS`` -- injected/observed crashes, stalls,
+#: dropped and duplicated dispatches, see :mod:`repro.serve.faults`) and
+#: a ``resize`` block (``events`` = shard-count changes, ``relocated`` =
+#: queued requests moved between shards by a resize); cluster summaries
+#: may additionally carry an ``"autotune"`` block describing the router
+#: the length-distribution observer picked (:mod:`repro.serve.autotune`).
+SERVE_SCHEMA_VERSION = 4
 
 #: Admission outcomes a sink counts (see ``AdmissionController``):
 #: ``admitted`` requests entered a queue, ``rejected`` ones were refused
@@ -71,6 +80,13 @@ SERVE_SCHEMA_VERSION = 3
 #: room for higher-priority work, and ``retried`` ones were re-queued on
 #: a surviving shard after a worker crash.
 ADMISSION_OUTCOMES = ("admitted", "rejected", "shed", "retried")
+
+#: Fault kinds a sink counts (see :mod:`repro.serve.faults`): ``crashes``
+#: are worker deaths (injected or real), ``delays`` applied stalls,
+#: ``dropped`` lost dispatches whose requests were restored to the queue,
+#: and ``duplicated`` dispatches delivered twice (served twice, resolved
+#: once).
+FAULT_KINDS = ("crashes", "delays", "dropped", "duplicated")
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -135,6 +151,9 @@ class TelemetrySink:
         self.slice_occupancy: List[float] = []
         self.refill_admissions = 0
         self.admission: Dict[str, int] = {outcome: 0 for outcome in ADMISSION_OUTCOMES}
+        self.faults: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.resize_events = 0
+        self.resize_relocated = 0
 
     # ------------------------------------------------------------------
     def record_queue_depth(self, depth: int) -> None:
@@ -180,6 +199,19 @@ class TelemetrySink:
             )
         self.admission[outcome] += int(count)
 
+    def record_fault(self, kind: str, count: int = 1) -> None:
+        """Count one injected/observed fault (see ``FAULT_KINDS``)."""
+        if kind not in self.faults:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+        self.faults[kind] += int(count)
+
+    def record_resize(self, relocated: int = 0) -> None:
+        """Count one shard-count change and the requests it relocated."""
+        self.resize_events += 1
+        self.resize_relocated += int(relocated)
+
     # ------------------------------------------------------------------
     # cross-process state transfer + merging (the sharded cluster ships
     # each worker's sink home and pools the raw samples, so merged
@@ -198,6 +230,11 @@ class TelemetrySink:
             "slice_occupancy": list(self.slice_occupancy),
             "refill_admissions": self.refill_admissions,
             "admission": dict(self.admission),
+            "faults": dict(self.faults),
+            "resize": {
+                "events": self.resize_events,
+                "relocated": self.resize_relocated,
+            },
         }
 
     @classmethod
@@ -221,6 +258,14 @@ class TelemetrySink:
         assert isinstance(admission, Mapping)
         for outcome, count in admission.items():
             sink.record_admission(str(outcome), int(count))
+        faults = state.get("faults", {})
+        assert isinstance(faults, Mapping)
+        for kind, count in faults.items():
+            sink.record_fault(str(kind), int(count))
+        resize = state.get("resize", {})
+        assert isinstance(resize, Mapping)
+        sink.resize_events = int(resize.get("events", 0))  # type: ignore[arg-type]
+        sink.resize_relocated = int(resize.get("relocated", 0))  # type: ignore[arg-type]
         return sink
 
     def merge(self, other: "TelemetrySink") -> "TelemetrySink":
@@ -239,6 +284,10 @@ class TelemetrySink:
         self.refill_admissions += other.refill_admissions
         for outcome, count in other.admission.items():
             self.admission[outcome] = self.admission.get(outcome, 0) + count
+        for kind, count in other.faults.items():
+            self.faults[kind] = self.faults.get(kind, 0) + count
+        self.resize_events += other.resize_events
+        self.resize_relocated += other.resize_relocated
         return self
 
     # ------------------------------------------------------------------
@@ -278,6 +327,11 @@ class TelemetrySink:
             },
             "refill": {"admitted_inflight": self.refill_admissions},
             "admission": dict(self.admission),
+            "faults": dict(self.faults),
+            "resize": {
+                "events": self.resize_events,
+                "relocated": self.resize_relocated,
+            },
             "queue_depth": {
                 "mean": (
                     sum(self.queue_depths) / len(self.queue_depths)

@@ -161,6 +161,51 @@ class TestTake:
         assert taken == requests[: min(limit, count)]
 
 
+class TestRestore:
+    def test_restore_clears_dispatch_and_requeues(self):
+        tasks = make_serve_tasks(count=4)
+        batcher = MicroBatcher(8, 1.0)
+        requests = _requests(tasks, arrivals=[0.0, 1.0, 2.0, 3.0])
+        for request in requests:
+            batcher.add(request)
+        taken = batcher.take(2, now_ms=5.0)
+        assert [r.dispatch_ms for r in taken] == [5.0, 5.0]
+        batcher.restore(taken)
+        assert len(batcher) == 4
+        assert all(r.dispatch_ms is None for r in requests)
+        # The queue re-sorts, so the next batch is the original FIFO order.
+        assert batcher.form_batch(10.0) == requests
+
+    def test_restore_resorts_by_arrival_then_id(self):
+        tasks = make_serve_tasks(count=3)
+        batcher = MicroBatcher(8, 1.0)
+        late, early, tied = _requests(tasks, arrivals=[7.0, 2.0, 7.0])
+        batcher.add(tied)
+        # Out-of-order return of a preempted pair must not break the
+        # oldest-at-front invariant behind next_deadline_ms().
+        batcher.restore([late, early])
+        assert batcher.next_deadline_ms() == 2.0 + 1.0
+        assert batcher.form_batch(20.0) == [early, late, tied]
+
+    def test_restore_nothing_is_a_noop(self):
+        batcher = MicroBatcher(4, 1.0)
+        batcher.restore([])
+        assert len(batcher) == 0
+        assert batcher.next_deadline_ms() is None
+
+    def test_restored_requests_are_redispatchable(self):
+        tasks = make_serve_tasks(count=2)
+        batcher = MicroBatcher(2, 1.0)
+        requests = _requests(tasks)
+        for request in requests:
+            batcher.add(request)
+        first = batcher.form_batch(4.0)
+        batcher.restore(first)
+        again = batcher.form_batch(9.0)
+        assert again == requests
+        assert [r.dispatch_ms for r in again] == [9.0, 9.0]
+
+
 class TestServeRequest:
     def test_timing_properties(self):
         task = make_serve_tasks(count=1)[0]

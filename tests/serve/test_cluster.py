@@ -237,6 +237,41 @@ class TestAdmissionController:
         # Other classes are untouched by the class-0 limit.
         assert controller.decide(_request(priority=1), queued).action == "accept"
 
+    def test_shed_with_one_priority_class_always_rejects(self):
+        """A single-class workload has no strictly-lower victim: the shed
+        policy must degrade to reject, never evict a peer to admit a peer."""
+        controller = AdmissionController(max_pending=3, policy="shed")
+        queued = tuple(
+            _request(priority=0, request_id=i, arrival_ms=float(i)) for i in range(3)
+        )
+        decision = controller.decide(_request(priority=0, request_id=9), queued)
+        assert decision.action == "reject"
+        assert decision.victims == ()
+        assert not decision.admitted
+
+    def test_shed_tie_break_is_the_youngest_queue_position(self):
+        """Victims tied on priority *and* arrival time break toward the
+        later queue position -- the request that has waited least."""
+        controller = AdmissionController(max_pending=2, policy="shed")
+        first = _request(priority=0, request_id=0, arrival_ms=4.0)
+        second = _request(priority=0, request_id=1, arrival_ms=4.0)
+        decision = controller.decide(_request(priority=2), (first, second))
+        assert decision.action == "shed"
+        assert decision.victims == (second,)
+
+    def test_class_limits_count_inflight_against_the_budget(self):
+        """In-flight work of a class fills its budget even though it can
+        never be shed -- otherwise a class could exceed its limit by
+        exactly the dispatch window."""
+        controller = AdmissionController(class_limits={1: 2})
+        queued = (_request(priority=1, request_id=0),)
+        inflight = (_request(priority=1, request_id=1),)
+        assert (
+            controller.decide(_request(priority=1), queued, inflight).action
+            == "reject"
+        )
+        assert controller.decide(_request(priority=1), queued).action == "accept"
+
     def test_validation(self):
         with pytest.raises(ValueError):
             AdmissionController(policy="drop")

@@ -1,0 +1,123 @@
+"""Stable-router movement bounds and cross-process determinism.
+
+The ``"stable"`` routing policy exists for one property: growing a
+cluster from ``n`` to ``n + 1`` shards must relocate at most
+``ceil(keys / (n + 1))`` of any contiguous request-id range, and every
+relocated key must land on the *new* shard (nothing reshuffles between
+survivors).  That is the contract elastic scaling leans on -- a resize
+that reshuffles everything would drain every queue -- so this suite pins
+it with hypothesis sweeps, and pins that placement is a pure function
+(same across orderings and across interpreter processes).
+"""
+
+import math
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import ShardRouter
+
+from serve_workloads import make_serve_tasks
+
+TASKS = make_serve_tasks(seed=11, count=8)
+
+
+def _placements(shards: int, ids) -> list:
+    router = ShardRouter(shards=shards, policy="stable")
+    # Stable routing is id-driven; cycle a fixed task pool for the API.
+    return [router.route(TASKS[i % len(TASKS)], i) for i in ids]
+
+
+class TestMovementBound:
+    @given(
+        shards=st.integers(min_value=1, max_value=12),
+        start=st.integers(min_value=0, max_value=10_000),
+        count=st.integers(min_value=1, max_value=400),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_grow_by_one_moves_at_most_ceil_m_over_n_plus_1(
+        self, shards, start, count
+    ):
+        ids = range(start, start + count)
+        before = _placements(shards, ids)
+        after = _placements(shards + 1, ids)
+        moved = [i for i, (a, b) in enumerate(zip(before, after)) if a != b]
+        assert len(moved) <= math.ceil(count / (shards + 1))
+        # Every relocated key lands on the shard that just joined; the
+        # survivors' partition is untouched.
+        assert all(after[i] == shards for i in moved)
+
+    @given(
+        shards=st.integers(min_value=1, max_value=10),
+        start=st.integers(min_value=0, max_value=5_000),
+        count=st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shrink_by_one_only_reassigns_the_leaving_shard(
+        self, shards, start, count
+    ):
+        """Scaling n+1 -> n strands only keys of the removed shard."""
+        ids = range(start, start + count)
+        wide = _placements(shards + 1, ids)
+        narrow = _placements(shards, ids)
+        for w, n in zip(wide, narrow):
+            if w != shards:  # not on the leaving shard: placement sticks
+                assert n == w
+
+    @given(shards=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_full_coverage_and_rough_balance(self, shards):
+        ids = range(0, 64 * shards)
+        placed = _placements(shards, ids)
+        assert set(placed) == set(range(shards))
+
+
+class TestDeterminism:
+    @given(
+        shards=st.integers(min_value=1, max_value=8),
+        ids=st.lists(
+            st.integers(min_value=0, max_value=100_000),
+            min_size=1,
+            max_size=60,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_placement_is_order_independent(self, shards, ids):
+        """route() is pure: permuting the query order changes nothing."""
+        forward = dict(zip(ids, _placements(shards, ids)))
+        backward = dict(zip(reversed(ids), _placements(shards, reversed(ids))))
+        assert forward == backward
+
+    def test_partition_matches_route(self):
+        tasks = make_serve_tasks(seed=3, count=40)
+        for policy in ("hash", "length", "stable"):
+            router = ShardRouter(shards=3, policy=policy)
+            partitions = router.partition(tasks)
+            for shard, indices in enumerate(partitions):
+                for index in indices:
+                    assert router.route(tasks[index], index) == shard
+
+    def test_placement_is_identical_across_processes(self):
+        """A spawned interpreter computes the same stable placements."""
+        ids = list(range(0, 200, 7))
+        script = (
+            "import sys; sys.path.insert(0, 'src'); sys.path.insert(0, 'tests/serve')\n"
+            "from serve_workloads import make_serve_tasks\n"
+            "from repro.serve import ShardRouter\n"
+            "tasks = make_serve_tasks(seed=11, count=8)\n"
+            "router = ShardRouter(shards=5, policy='stable')\n"
+            f"ids = {ids!r}\n"
+            "print([router.route(tasks[i % len(tasks)], i) for i in ids])\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+        )
+        local = _placements(5, ids)
+        assert out.stdout.strip() == repr(local)

@@ -4,6 +4,7 @@ import json
 
 from repro.bench.cli import main as bench_main
 from repro.bench.records import BenchRecord
+from repro.serve import SERVE_SCHEMA_VERSION
 from repro.serve.cli import main
 
 
@@ -31,7 +32,7 @@ class TestServeCli:
         assert record.figure == "serve"
         assert set(record.suites["serve"].speedups) == {"microbatch", "batch1"}
         assert record.suites["serve"].speedups["batch1"]["ONT-HG002"] == 1.0
-        assert record.environment["serve_schema_version"] == 3
+        assert record.environment["serve_schema_version"] == SERVE_SCHEMA_VERSION
 
     def test_record_gates_through_bench_compare(self, tmp_path, capsys):
         """The acceptance wiring: python -m repro.bench compare accepts

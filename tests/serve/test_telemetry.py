@@ -66,6 +66,8 @@ class TestTelemetrySink:
             "lane_occupancy",
             "refill",
             "admission",
+            "faults",
+            "resize",
             "queue_depth",
             "wait_ms",
             "latency_ms",
@@ -75,6 +77,33 @@ class TestTelemetrySink:
         assert summary["batch_occupancy"] == {"2": 1}
         assert summary["queue_depth"] == {"mean": 2.0, "max": 3}
         assert summary["wait_ms"]["max_ms"] == 1.0
+        # v4 additions default to zeroed counters.
+        assert summary["faults"] == {
+            "crashes": 0,
+            "delays": 0,
+            "dropped": 0,
+            "duplicated": 0,
+        }
+        assert summary["resize"] == {"events": 0, "relocated": 0}
+
+    def test_fault_and_resize_counters(self):
+        sink = TelemetrySink()
+        sink.record_fault("crashes")
+        sink.record_fault("delays", 2)
+        sink.record_resize(relocated=5)
+        sink.record_resize()
+        with pytest.raises(ValueError, match="fault kind"):
+            sink.record_fault("explosions")
+        summary = sink.summary()
+        assert summary["faults"]["crashes"] == 1
+        assert summary["faults"]["delays"] == 2
+        assert summary["resize"] == {"events": 2, "relocated": 5}
+        # Counters survive the state round trip and merge additively.
+        clone = TelemetrySink.from_state(sink.state())
+        clone.merge(sink)
+        assert clone.faults["delays"] == 4
+        assert clone.resize_events == 4
+        assert clone.resize_relocated == 10
 
     def test_empty_sink(self):
         summary = TelemetrySink().summary()
